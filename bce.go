@@ -1,0 +1,130 @@
+// Package bce is a BOINC client emulator: a reproduction of the system
+// described in David P. Anderson, "Emulating Volunteer Computing
+// Scheduling Policies" (IPDPS Workshops / PCGrid 2011).
+//
+// The emulator runs the BOINC client's scheduling machinery — round-
+// robin simulation, debt/REC resource-share accounting, deadline-aware
+// job scheduling, and work-fetch policies — inside a discrete-event
+// simulation of everything the client interacts with: job execution
+// with normally distributed runtimes, host availability as an
+// exponential on/off process, network delays, and simplified project
+// servers. It reports five figures of merit (idle fraction, wasted
+// fraction, resource-share violation, monotony, RPCs per job), each
+// scaled to [0,1] where 0 is good.
+//
+// # Quick start
+//
+//	s := &bce.Scenario{
+//		Name: "two-projects", DurationDays: 10, Seed: 1,
+//		Host: bce.HostJSON{NCPU: 4, CPUGFlops: 2.5},
+//		Projects: []bce.ProjectJSON{
+//			{Name: "a", Share: 100, Apps: []bce.AppJSON{
+//				{Name: "app", NCPUs: 1, MeanSecs: 3600, LatencySecs: 86400},
+//			}},
+//			{Name: "b", Share: 100, Apps: []bce.AppJSON{
+//				{Name: "app", NCPUs: 1, MeanSecs: 1800, LatencySecs: 43200},
+//			}},
+//		},
+//	}
+//	res, err := bce.Run(s)
+//	if err != nil { ... }
+//	fmt.Println(res.Metrics)
+//
+// Policy variants are selected per scenario (Policies field) or, at a
+// lower level, via Config. The experiments subpackage regenerates the
+// paper's figures; cmd/bce, cmd/bcectl, cmd/scengen and cmd/bceweb are
+// the command-line and web frontends.
+package bce
+
+import (
+	"io"
+
+	"bce/internal/client"
+	"bce/internal/metrics"
+	"bce/internal/scenario"
+	"bce/internal/stats"
+	"bce/internal/timeline"
+)
+
+// Scenario is a complete emulator input: host, projects, policies.
+type Scenario = scenario.Scenario
+
+// HostJSON describes the emulated host.
+type HostJSON = scenario.HostJSON
+
+// ProjectJSON describes one attached project.
+type ProjectJSON = scenario.ProjectJSON
+
+// AppJSON describes one application's job stream.
+type AppJSON = scenario.AppJSON
+
+// AvailJSON parameterises an availability channel (hours on/off).
+type AvailJSON = scenario.AvailJSON
+
+// Policies selects the policy variants under test.
+type Policies = scenario.Policies
+
+// Config is the low-level emulator configuration (the scenario
+// compiled against live host/project objects).
+type Config = client.Config
+
+// Metrics is the figures-of-merit report.
+type Metrics = metrics.Metrics
+
+// Result is one emulation outcome.
+type Result = client.Result
+
+// Timeline is the recorded processor-usage timeline.
+type Timeline = timeline.Recorder
+
+// Run emulates the scenario and reports the figures of merit.
+func Run(s *Scenario) (*Result, error) {
+	cfg, err := s.Config()
+	if err != nil {
+		return nil, err
+	}
+	return RunConfig(cfg)
+}
+
+// RunConfig emulates a low-level configuration.
+func RunConfig(cfg Config) (*Result, error) {
+	c, err := client.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return c.Run()
+}
+
+// RunWithTimeline emulates the scenario recording the processor-usage
+// timeline (renderable as ASCII or SVG) and writing the message log of
+// scheduling decisions to log (nil discards it).
+func RunWithTimeline(s *Scenario, log io.Writer) (*Result, error) {
+	cfg, err := s.Config()
+	if err != nil {
+		return nil, err
+	}
+	cfg.RecordTimeline = true
+	cfg.Log = log
+	return RunConfig(cfg)
+}
+
+// LoadScenario reads a scenario from JSON.
+func LoadScenario(r io.Reader) (*Scenario, error) { return scenario.Load(r) }
+
+// LoadScenarioFile reads a scenario from a JSON file.
+func LoadScenarioFile(path string) (*Scenario, error) { return scenario.LoadFile(path) }
+
+// ImportClientState reconstructs a scenario from a BOINC
+// client_state.xml file (subset), the paper's web-interface workflow.
+func ImportClientState(r io.Reader) (*Scenario, error) {
+	return scenario.ImportClientState(r)
+}
+
+// SampleScenario draws a random scenario from a population model of
+// volunteer hosts (the paper's Monte-Carlo future-work direction).
+func SampleScenario(seed int64) *Scenario {
+	return scenario.Sample(stats.NewRNG(seed), scenario.PopulationParams{})
+}
+
+// MetricNames returns the five figure-of-merit names in report order.
+func MetricNames() [5]string { return metrics.Names() }

@@ -1,0 +1,336 @@
+package bce
+
+// One benchmark per figure in the paper's evaluation (§5), each
+// regenerating the figure's data and reporting its headline numbers as
+// custom benchmark metrics, plus micro-benchmarks of the emulator
+// itself. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The per-figure benches report the reproduced values so a bench run
+// doubles as a reproduction record (see EXPERIMENTS.md).
+
+import (
+	"fmt"
+	"testing"
+
+	"bce/internal/emserver"
+	"bce/internal/experiments"
+	"bce/internal/fetch"
+	"bce/internal/fleet"
+	"bce/internal/host"
+	"bce/internal/job"
+	"bce/internal/project"
+	"bce/internal/sched"
+)
+
+var benchSeeds = []int64{1}
+
+// BenchmarkFig1 regenerates Figure 1 (resource share applies to the
+// host's combined processing resources). Reported metrics: achieved
+// GFLOPS per project (expect ~15 each).
+func BenchmarkFig1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.Figure1(benchSeeds)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(fig.Y["total"][0], "A_GFLOPS")
+		b.ReportMetric(fig.Y["total"][1], "B_GFLOPS")
+		b.ReportMetric(fig.Y["CPU"][0], "A_CPU_GFLOPS")
+		b.ReportMetric(fig.Y["GPU"][1], "B_GPU_GFLOPS")
+	}
+}
+
+// BenchmarkFig2 regenerates Figure 2 (round-robin simulation busy-time
+// prediction). Reported metric: trace steps.
+func BenchmarkFig2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig := experiments.Figure2()
+		b.ReportMetric(float64(len(fig.X)), "trace_steps")
+	}
+}
+
+// BenchmarkFig3 regenerates Figure 3 (EDF scheduling reduces wasted
+// processing). Reported metrics: wasted fraction at zero slack and at
+// the largest slack for JS-WRR vs JS-LOCAL.
+func BenchmarkFig3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.Figure3(benchSeeds)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := len(fig.X) - 1
+		b.ReportMetric(fig.Y["JS-WRR"][0], "wrr_wasted_slack0")
+		b.ReportMetric(fig.Y["JS-LOCAL"][0], "local_wasted_slack0")
+		b.ReportMetric(fig.Y["JS-WRR"][last], "wrr_wasted_slackmax")
+		b.ReportMetric(fig.Y["JS-LOCAL"][last], "local_wasted_slackmax")
+	}
+}
+
+// BenchmarkFig4 regenerates Figure 4 (global accounting reduces share
+// violation).
+func BenchmarkFig4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.Figure4(benchSeeds)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(fig.Y["JS-LOCAL"][0], "local_violation")
+		b.ReportMetric(fig.Y["JS-GLOBAL"][0], "global_violation")
+	}
+}
+
+// BenchmarkFig5 regenerates Figure 5 (fetch hysteresis reduces RPCs per
+// job, increases monotony).
+func BenchmarkFig5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.Figure5(benchSeeds)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(fig.Y["JF-ORIG"][0], "orig_rpcs_per_job")
+		b.ReportMetric(fig.Y["JF-HYSTERESIS"][0], "hyst_rpcs_per_job")
+		b.ReportMetric(fig.Y["JF-ORIG"][1], "orig_monotony")
+		b.ReportMetric(fig.Y["JF-HYSTERESIS"][1], "hyst_monotony")
+	}
+}
+
+// BenchmarkFig6 regenerates Figure 6 (longer REC half-life reduces
+// share violation with long low-slack jobs).
+func BenchmarkFig6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.Figure6(benchSeeds)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ys := fig.Y["JS-REC"]
+		b.ReportMetric(ys[0], "violation_shortest_halflife")
+		b.ReportMetric(ys[len(ys)-1], "violation_longest_halflife")
+	}
+}
+
+// BenchmarkEmulationDay measures raw emulator speed: one emulated day
+// of a 4-CPU, two-project host per iteration.
+func BenchmarkEmulationDay(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := &Scenario{
+			Name: "bench", DurationDays: 1, Seed: int64(i),
+			Host: HostJSON{NCPU: 4, CPUGFlops: 1, MinQueueHours: 1, MaxQueueHours: 4},
+			Projects: []ProjectJSON{
+				{Name: "a", Share: 100, Apps: []AppJSON{{Name: "x", NCPUs: 1, MeanSecs: 1200, LatencySecs: 86400}}},
+				{Name: "b", Share: 100, Apps: []AppJSON{{Name: "y", NCPUs: 1, MeanSecs: 2400, LatencySecs: 86400}}},
+			},
+		}
+		res, err := Run(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(res.Events), "events/day")
+		}
+	}
+}
+
+// BenchmarkScenario4Policies measures the cost of the paper's largest
+// scenario (20 projects, mixed CPU/GPU) under both fetch policies.
+func BenchmarkScenario4Policies(b *testing.B) {
+	for _, kind := range []fetch.PolicyKind{fetch.JFOrig, fetch.JFHysteresis} {
+		kind := kind
+		b.Run(kind.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := experiments.Scenario4(kind, int64(i))
+				cfg.Duration = 86400 // one day per iteration
+				if _, err := RunConfig(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSchedPolicies measures a day of scenario 1 under each job
+// scheduling policy (the fig-3 ablation axis).
+func BenchmarkSchedPolicies(b *testing.B) {
+	for _, p := range []sched.Policy{sched.JSWRR, sched.JSLocal, sched.JSGlobal} {
+		p := p
+		b.Run(p.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := experiments.Scenario1(1500, p, int64(i))
+				cfg.Duration = 86400
+				if _, err := RunConfig(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTransferPolicies is an ablation for the file-transfer
+// extension: a slow link with mixed data-heavy and compute-heavy
+// projects under each transfer-ordering policy. Reported metric:
+// deadline misses per emulated day.
+func BenchmarkTransferPolicies(b *testing.B) {
+	for _, policy := range []string{"fifo", "smallest-first", "edf"} {
+		policy := policy
+		b.Run(policy, func(b *testing.B) {
+			missed := 0
+			for i := 0; i < b.N; i++ {
+				s := &Scenario{
+					Name: "xfer-bench", DurationDays: 1, Seed: int64(i),
+					Host: HostJSON{
+						NCPU: 2, CPUGFlops: 2,
+						MinQueueHours: 1, MaxQueueHours: 4,
+						DownMbps: 8, UpMbps: 8,
+					},
+					Projects: []ProjectJSON{
+						{Name: "mix", Share: 100, Apps: []AppJSON{
+							{Name: "urgent", NCPUs: 1, MeanSecs: 600, LatencySecs: 1800,
+								InputMB: 300, OutputMB: 5},
+							{Name: "bulk", NCPUs: 1, MeanSecs: 1200, LatencySecs: 86400,
+								InputMB: 100, OutputMB: 5},
+						}},
+					},
+					Policies: Policies{Transfers: policy},
+				}
+				res, err := Run(s)
+				if err != nil {
+					b.Fatal(err)
+				}
+				missed += res.Metrics.MissedJobs
+			}
+			b.ReportMetric(float64(missed)/float64(b.N), "missed/day")
+		})
+	}
+}
+
+// BenchmarkAblationDeadlineMargin sweeps the endangered-classification
+// margin in scenario 1 — the stabilisation knob DESIGN.md documents.
+func BenchmarkAblationDeadlineMargin(b *testing.B) {
+	for _, margin := range []float64{-1, 60, 120, 300} {
+		margin := margin
+		name := "margin0"
+		if margin > 0 {
+			name = fmt.Sprintf("margin%d", int(margin))
+		}
+		b.Run(name, func(b *testing.B) {
+			wasted := 0.0
+			for i := 0; i < b.N; i++ {
+				cfg := experiments.Scenario1(1200, sched.JSLocal, int64(i))
+				cfg.Duration = 2 * 86400
+				cfg.DeadlineMargin = margin
+				res, err := RunConfig(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				wasted += res.Metrics.WastedFraction
+			}
+			b.ReportMetric(wasted/float64(b.N), "wasted_frac")
+		})
+	}
+}
+
+// BenchmarkAblationCheckpointPeriod sweeps how often applications
+// checkpoint; rarely-checkpointing apps lose more work to preemption.
+func BenchmarkAblationCheckpointPeriod(b *testing.B) {
+	for _, cp := range []float64{-1, 60, 600, 3600} {
+		cp := cp
+		name := "never"
+		if cp > 0 {
+			name = fmt.Sprintf("%ds", int(cp))
+		}
+		b.Run(name, func(b *testing.B) {
+			lost := 0.0
+			for i := 0; i < b.N; i++ {
+				s := &Scenario{
+					Name: "cp-bench", DurationDays: 1, Seed: int64(i),
+					Host: HostJSON{NCPU: 1, CPUGFlops: 1, MinQueueHours: 1, MaxQueueHours: 3},
+					Projects: []ProjectJSON{
+						{Name: "a", Share: 100, Apps: []AppJSON{{
+							Name: "x", NCPUs: 1, MeanSecs: 4000, LatencySecs: 864000, CheckpointS: cp,
+						}}},
+						{Name: "b", Share: 100, Apps: []AppJSON{{
+							Name: "y", NCPUs: 1, MeanSecs: 4000, LatencySecs: 864000, CheckpointS: cp,
+						}}},
+					},
+				}
+				res, err := Run(s)
+				if err != nil {
+					b.Fatal(err)
+				}
+				lost += res.Metrics.LostFLOPSsec / 1e9
+			}
+			b.ReportMetric(lost/float64(b.N), "lost_cpu_sec")
+		})
+	}
+}
+
+// BenchmarkEmServer measures the EmBOINC-style server-side emulation
+// across replication levels, reporting validated workunits per day and
+// the waste fraction.
+func BenchmarkEmServer(b *testing.B) {
+	for _, repl := range []int{1, 2, 3} {
+		repl := repl
+		b.Run(fmt.Sprintf("replication%d", repl), func(b *testing.B) {
+			var thr, waste float64
+			for i := 0; i < b.N; i++ {
+				st := emserver.Run(emserver.Params{
+					Seed:           int64(i),
+					NHosts:         100,
+					Duration:       4 * 86400,
+					TargetNResults: repl,
+					MinQuorum:      repl,
+				})
+				thr += st.Throughput(4 * 86400)
+				waste += st.WasteFraction()
+			}
+			b.ReportMetric(thr/float64(b.N), "validWU/day")
+			b.ReportMetric(waste/float64(b.N), "waste_frac")
+		})
+	}
+}
+
+// BenchmarkFleetPlanning measures the multi-host share planner plus a
+// fleet evaluation, reporting the violation improvement over uniform
+// shares.
+func BenchmarkFleetPlanning(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f := benchFleet()
+		uni, err := f.Evaluate(fleet.Uniform(f), 86400, int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		plan, err := fleet.Optimize(f)
+		if err != nil {
+			b.Fatal(err)
+		}
+		opt, err := f.Evaluate(plan, 86400, int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(uni.GlobalViolation, "uniform_violation")
+		b.ReportMetric(opt.GlobalViolation, "planned_violation")
+	}
+}
+
+func benchFleet() *fleet.Fleet {
+	mk := func(ncpu int, cpuF float64, ngpu int, gpuF float64) *host.Host {
+		h := host.StdHost(ncpu, cpuF, ngpu, gpuF)
+		h.Prefs.MinQueue = 1200
+		h.Prefs.MaxQueue = 3600
+		return h
+	}
+	cpuApp := project.AppSpec{Name: "cpu", Usage: job.Usage{AvgCPUs: 1},
+		MeanDuration: 1000, LatencyBound: 864000, CheckpointPeriod: 60}
+	gpuApp := project.AppSpec{Name: "gpu",
+		Usage:        job.Usage{AvgCPUs: 0.2, GPUType: host.NvidiaGPU, GPUUsage: 1},
+		MeanDuration: 500, LatencyBound: 864000, CheckpointPeriod: 60}
+	return &fleet.Fleet{
+		Hosts: []*host.Host{mk(4, 1e9, 1, 10e9), mk(8, 1e9, 0, 0)},
+		Projects: []project.Spec{
+			{Name: "A", Share: 100, Apps: []project.AppSpec{cpuApp, gpuApp}},
+			{Name: "B", Share: 100, Apps: []project.AppSpec{cpuApp}},
+		},
+	}
+}

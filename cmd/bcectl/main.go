@@ -1,0 +1,354 @@
+// Command bcectl is the emulator's controller (paper §4.3): it does
+// multiple BCE runs and summarises the figures of merit. Subcommands:
+//
+//	bcectl fig1|fig2|fig3|fig4|fig5|fig6   regenerate a paper figure
+//	bcectl figures                         regenerate all figures
+//	bcectl compare scenario.json           all policy combinations on one scenario
+//	bcectl sweep   scenario.json           sweep a scenario parameter
+//
+// Figure output is a table plus an ASCII chart; -csv writes the series
+// as CSV to a file.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"bce"
+	"bce/internal/experiments"
+	"bce/internal/harness"
+	"bce/internal/report"
+	"bce/internal/scenario"
+)
+
+func main() {
+	var (
+		seeds = flag.Int("seeds", 3, "replications per configuration")
+		csv   = flag.String("csv", "", "also write figure/sweep data as CSV to this file")
+		chart = flag.Bool("chart", true, "print ASCII charts for sweeps")
+		html  = flag.String("html", "", "also write an HTML report with SVG charts to this file")
+	)
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() < 1 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := flag.Arg(0)
+	sl := harness.Seeds(*seeds)
+	var rep *report.Report
+	if *html != "" {
+		rep = report.New("BCE " + cmd + " report")
+	}
+
+	var err error
+	switch cmd {
+	case "fig1", "fig2", "fig3", "fig4", "fig5", "fig6",
+		"ext-transfer", "ext-fleet", "ext-server":
+		err = runFigure(cmd, sl, *csv, *chart, rep)
+	case "figures":
+		for _, id := range []string{"fig1", "fig2", "fig3", "fig4", "fig5", "fig6"} {
+			if err = runFigure(id, sl, "", *chart, rep); err != nil {
+				break
+			}
+			fmt.Println()
+		}
+	case "extensions":
+		for _, e := range experiments.Extensions() {
+			if err = runFigure(e.ID, sl, "", *chart, rep); err != nil {
+				break
+			}
+			fmt.Println()
+		}
+	case "compare":
+		err = runCompare(flag.Arg(1), sl, rep)
+	case "sweep":
+		err = runSweep(flag.Args()[1:], sl, *csv, *chart, rep)
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err == nil && rep != nil {
+		err = writeReport(rep, *html)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bcectl:", err)
+		os.Exit(1)
+	}
+}
+
+func writeReport(rep *report.Report, path string) error {
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer out.Close()
+	if err := rep.Render(out); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "HTML report written to %s\n", path)
+	return nil
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `bcectl — BOINC client emulator controller
+
+  bcectl [flags] fig1..fig6        regenerate one paper figure
+  bcectl [flags] figures           regenerate all paper figures
+  bcectl [flags] extensions        run the extension experiments
+                                   (ext-transfer, ext-fleet, ext-server)
+  bcectl [flags] compare s.json    run every policy combination on a scenario
+  bcectl [flags] sweep s.json param v1 v2 ...
+                                   sweep a scenario parameter
+                                   (param: min_queue_hours, max_queue_hours,
+                                    rec_half_life, duration_days)
+
+flags:
+`)
+	flag.PrintDefaults()
+}
+
+func runFigure(id string, seeds []int64, csvPath string, chart bool, rep *report.Report) error {
+	var fig *experiments.Figure
+	var err error
+	switch id {
+	case "fig1":
+		fig, err = experiments.Figure1(seeds)
+	case "fig2":
+		fig = experiments.Figure2()
+	case "fig3":
+		fig, err = experiments.Figure3(seeds)
+	case "fig4":
+		fig, err = experiments.Figure4(seeds)
+	case "fig5":
+		fig, err = experiments.Figure5(seeds)
+	case "fig6":
+		fig, err = experiments.Figure6(seeds)
+	default:
+		var ext experiments.Extension
+		if ext, err = experiments.ExtensionByID(id); err == nil {
+			fig, err = ext.Gen(seeds)
+		}
+	}
+	if err != nil {
+		return err
+	}
+	printFigure(fig, chart)
+	if rep != nil {
+		rep.AddFigure(fig)
+	}
+	if csvPath != "" {
+		return writeFigureCSV(fig, csvPath)
+	}
+	return nil
+}
+
+func printFigure(f *experiments.Figure, chart bool) {
+	fmt.Printf("== %s: %s\n", f.ID, f.Title)
+	fmt.Println(f.Header())
+	for i := range f.X {
+		fmt.Println(f.Row(i))
+	}
+	if f.Notes != "" {
+		fmt.Println("note:", f.Notes)
+	}
+	if chart && len(f.X) > 2 {
+		fmt.Println()
+		fmt.Print(figureChart(f, 60, 12))
+	}
+}
+
+// figureChart renders the figure's series as a crude ASCII chart.
+func figureChart(f *experiments.Figure, width, height int) string {
+	glyphs := []byte{'*', 'o', '+', 'x', '#'}
+	minX, maxX := f.X[0], f.X[len(f.X)-1]
+	var maxY float64
+	for _, l := range f.Labels {
+		for _, y := range f.Y[l] {
+			if y > maxY {
+				maxY = y
+			}
+		}
+	}
+	if maxY <= 0 {
+		maxY = 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for li, l := range f.Labels {
+		g := glyphs[li%len(glyphs)]
+		for i, x := range f.X {
+			col := 0
+			if maxX > minX {
+				col = int(float64(width-1) * (x - minX) / (maxX - minX))
+			}
+			row := height - 1 - int(float64(height-1)*f.Y[l][i]/maxY)
+			if row >= 0 && row < height && col >= 0 && col < width {
+				grid[row][col] = g
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s vs %s (ymax=%.3f)\n", f.YLabel, f.XLabel, maxY)
+	for _, row := range grid {
+		b.WriteByte('|')
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	b.WriteString("+" + strings.Repeat("-", width) + "\n ")
+	for li, l := range f.Labels {
+		fmt.Fprintf(&b, " %c=%s", glyphs[li%len(glyphs)], l)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+func writeFigureCSV(f *experiments.Figure, path string) error {
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer out.Close()
+	fmt.Fprintf(out, "%s", f.XLabel)
+	for _, l := range f.Labels {
+		fmt.Fprintf(out, ",%s", l)
+	}
+	fmt.Fprintln(out)
+	for i, x := range f.X {
+		fmt.Fprintf(out, "%g", x)
+		for _, l := range f.Labels {
+			fmt.Fprintf(out, ",%g", f.Y[l][i])
+		}
+		fmt.Fprintln(out)
+	}
+	return nil
+}
+
+// runCompare runs every job-sched × job-fetch combination on a
+// user-supplied scenario.
+func runCompare(path string, seeds []int64, rep *report.Report) error {
+	if path == "" {
+		return fmt.Errorf("compare needs a scenario file")
+	}
+	base, err := bce.LoadScenarioFile(path)
+	if err != nil {
+		return err
+	}
+	var variants []harness.Variant
+	for _, js := range []string{"JS-LOCAL", "JS-GLOBAL", "JS-WRR"} {
+		for _, jf := range []string{"JF-ORIG", "JF-HYSTERESIS"} {
+			js, jf := js, jf
+			variants = append(variants, harness.Variant{
+				Label: js + "/" + jf,
+				Make: func(seed int64) bce.Config {
+					s := *base
+					s.Policies.JobSched = js
+					s.Policies.JobFetch = jf
+					s.Seed = seed
+					cfg, err := s.Config()
+					if err != nil {
+						panic(err) // validated at load
+					}
+					return cfg
+				},
+			})
+		}
+	}
+	cmp, err := harness.Compare(variants, seeds)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("scenario %s, %d seed(s)\n\n", base.Name, len(seeds))
+	fmt.Print(cmp.Table())
+	if rep != nil {
+		rep.AddComparison("Policy comparison on "+base.Name, cmp)
+	}
+	return nil
+}
+
+// runSweep sweeps one scenario parameter across the given values.
+func runSweep(args []string, seeds []int64, csvPath string, chart bool, rep *report.Report) error {
+	if len(args) < 3 {
+		return fmt.Errorf("sweep needs: scenario.json param v1 v2 ...")
+	}
+	base, err := bce.LoadScenarioFile(args[0])
+	if err != nil {
+		return err
+	}
+	param := args[1]
+	var xs []float64
+	for _, a := range args[2:] {
+		v, err := strconv.ParseFloat(a, 64)
+		if err != nil {
+			return fmt.Errorf("bad sweep value %q: %w", a, err)
+		}
+		xs = append(xs, v)
+	}
+	set := func(s *scenario.Scenario, v float64) error {
+		switch param {
+		case "min_queue_hours":
+			s.Host.MinQueueHours = v
+		case "max_queue_hours":
+			s.Host.MaxQueueHours = v
+		case "rec_half_life":
+			s.Policies.RECHalfLife = v
+		case "duration_days":
+			s.DurationDays = v
+		default:
+			return fmt.Errorf("unknown sweep parameter %q", param)
+		}
+		return nil
+	}
+	mk := func(x float64) []harness.Variant {
+		return []harness.Variant{{
+			Label: base.Name,
+			Make: func(seed int64) bce.Config {
+				s := *base
+				if err := set(&s, x); err != nil {
+					panic(err)
+				}
+				s.Seed = seed
+				cfg, err := s.Config()
+				if err != nil {
+					panic(err)
+				}
+				return cfg
+			},
+		}}
+	}
+	// Validate the parameter name once up front.
+	probe := *base
+	if err := set(&probe, xs[0]); err != nil {
+		return err
+	}
+	sw, err := harness.Sweep(param, xs, mk, seeds)
+	if err != nil {
+		return err
+	}
+	for _, metric := range []string{"idle", "wasted", "share_violation", "monotony", "rpcs_per_job"} {
+		fmt.Print(sw.Table(metric))
+		fmt.Println()
+	}
+	if chart {
+		fmt.Print(sw.Chart("wasted", 60, 12))
+	}
+	if rep != nil {
+		for _, metric := range []string{"idle", "wasted", "share_violation", "monotony", "rpcs_per_job"} {
+			rep.AddSweep(metric+" vs "+param, sw, metric)
+		}
+	}
+	if csvPath != "" {
+		out, err := os.Create(csvPath)
+		if err != nil {
+			return err
+		}
+		defer out.Close()
+		return sw.CSV(out)
+	}
+	return nil
+}

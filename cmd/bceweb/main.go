@@ -1,0 +1,32 @@
+// Command bceweb serves the emulator's web interface (paper §4.3):
+// volunteers paste their BOINC client_state.xml (or a JSON scenario),
+// select policies, and get the figures of merit, message log, and an
+// SVG timeline. Uploaded inputs are saved for later debugging.
+//
+// Usage:
+//
+//	bceweb -addr :8080 -save uploads/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"bce/internal/web"
+)
+
+func main() {
+	var (
+		addr = flag.String("addr", "localhost:8080", "listen address")
+		save = flag.String("save", "", "directory to save uploaded scenarios ('' = don't save)")
+	)
+	flag.Parse()
+	srv := web.NewServer(*save)
+	fmt.Printf("bceweb listening on http://%s/\n", *addr)
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		fmt.Fprintln(os.Stderr, "bceweb:", err)
+		os.Exit(1)
+	}
+}

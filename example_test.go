@@ -1,0 +1,64 @@
+package bce_test
+
+// Godoc examples for the public API. These run as part of the test
+// suite and double as the shortest possible usage documentation.
+
+import (
+	"fmt"
+
+	"bce"
+)
+
+// Example emulates a one-project host for six hours and reports how
+// many jobs completed. Everything is deterministic for a fixed seed.
+func Example() {
+	s := &bce.Scenario{
+		Name: "example", DurationDays: 0.25, Seed: 1,
+		Host: bce.HostJSON{NCPU: 2, CPUGFlops: 1, MinQueueHours: 0.5, MaxQueueHours: 1},
+		Projects: []bce.ProjectJSON{
+			{Name: "proj", Share: 100, Apps: []bce.AppJSON{
+				{Name: "app", NCPUs: 1, MeanSecs: 600, LatencySecs: 86400},
+			}},
+		},
+	}
+	res, err := bce.Run(s)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("completed %d jobs, missed %d deadlines\n",
+		res.Metrics.CompletedJobs, res.Metrics.MissedJobs)
+	// Output: completed 70 jobs, missed 0 deadlines
+}
+
+// ExampleRunWithTimeline shows how to capture the processor-usage
+// timeline and render it as ASCII art.
+func ExampleRunWithTimeline() {
+	s := &bce.Scenario{
+		Name: "timeline", DurationDays: 0.1, Seed: 1,
+		Host: bce.HostJSON{NCPU: 1, CPUGFlops: 1, MinQueueHours: 0.5, MaxQueueHours: 1},
+		Projects: []bce.ProjectJSON{
+			{Name: "p", Share: 100, Apps: []bce.AppJSON{
+				{Name: "a", NCPUs: 1, MeanSecs: 1200, LatencySecs: 86400},
+			}},
+		},
+	}
+	res, err := bce.RunWithTimeline(s, nil)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(len(res.Timeline.Segments) > 0)
+	// Output: true
+}
+
+// ExampleMetricNames lists the five figures of merit in report order.
+func ExampleMetricNames() {
+	for _, n := range bce.MetricNames() {
+		fmt.Println(n)
+	}
+	// Output:
+	// idle
+	// wasted
+	// share_violation
+	// monotony
+	// rpcs_per_job
+}

@@ -1,0 +1,56 @@
+// population demonstrates the Monte-Carlo population study (paper
+// §6.2): sample random volunteer hosts from a population model and
+// compare policy combinations across the whole sample rather than on a
+// single scenario.
+//
+//	go run ./examples/population
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bce"
+)
+
+const nSamples = 12
+
+func main() {
+	// Draw a small population of random scenarios (hardware,
+	// availability, attached projects and job properties all vary).
+	population := make([]*bce.Scenario, nSamples)
+	for i := range population {
+		population[i] = bce.SampleScenario(int64(100 + i))
+		population[i].DurationDays = 1 // keep the demo quick
+	}
+
+	fmt.Printf("comparing policies over %d sampled scenarios (1 day each)\n\n", nSamples)
+	fmt.Printf("%-26s %8s %8s %8s %8s %8s\n",
+		"policy", "idle", "wasted", "viol", "mono", "rpc/job")
+
+	for _, combo := range [][2]string{
+		{"JS-LOCAL", "JF-ORIG"},
+		{"JS-LOCAL", "JF-HYSTERESIS"},
+		{"JS-GLOBAL", "JF-HYSTERESIS"},
+	} {
+		var sum [5]float64
+		for _, base := range population {
+			s := *base
+			s.Policies.JobSched = combo[0]
+			s.Policies.JobFetch = combo[1]
+			res, err := bce.Run(&s)
+			if err != nil {
+				log.Fatal(err)
+			}
+			for i, v := range res.Metrics.Values() {
+				sum[i] += v
+			}
+		}
+		fmt.Printf("%-26s", combo[0]+"/"+combo[1])
+		for _, v := range sum {
+			fmt.Printf(" %8.4f", v/nSamples)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\n(population means; see cmd/scengen -study for the full tool)")
+}

@@ -1,0 +1,58 @@
+// Quickstart: emulate a two-project host for a day and print the
+// figures of merit.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bce"
+)
+
+func main() {
+	// A 4-core 2.5 GFLOPS/core machine attached to two projects with
+	// a 2:1 resource share. Einstein-like jobs take an hour with a
+	// one-day deadline; SETI-like jobs take 20 minutes with a
+	// half-day deadline.
+	s := &bce.Scenario{
+		Name:         "quickstart",
+		DurationDays: 1,
+		Seed:         42,
+		Host: bce.HostJSON{
+			NCPU:          4,
+			CPUGFlops:     2.5,
+			MinQueueHours: 2,
+			MaxQueueHours: 8,
+		},
+		Projects: []bce.ProjectJSON{
+			{Name: "einstein", Share: 200, Apps: []bce.AppJSON{{
+				Name: "hour_jobs", NCPUs: 1,
+				MeanSecs: 3600, StdevSecs: 300, LatencySecs: 86400,
+			}}},
+			{Name: "seti", Share: 100, Apps: []bce.AppJSON{{
+				Name: "short_jobs", NCPUs: 1,
+				MeanSecs: 1200, StdevSecs: 120, LatencySecs: 43200,
+			}}},
+		},
+		// Default policies: JS-LOCAL scheduling, JF-HYSTERESIS fetch.
+	}
+
+	res, err := bce.Run(s)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	m := res.Metrics
+	fmt.Println("figures of merit (0 = good, 1 = bad):")
+	names := bce.MetricNames()
+	for i, v := range m.Values() {
+		fmt.Printf("  %-16s %.4f\n", names[i], v)
+	}
+	fmt.Printf("\n%d jobs completed, %d missed their deadline, %d scheduler RPCs\n",
+		m.CompletedJobs, m.MissedJobs, m.RPCs)
+	total := m.UsedByProject[0] + m.UsedByProject[1]
+	fmt.Printf("einstein received %.0f%% of the processing (share says %.0f%%)\n",
+		100*m.UsedByProject[0]/total, 100.0*200/300)
+}

@@ -1,0 +1,147 @@
+package chart
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func lineChart() *Chart {
+	return &Chart{
+		Title: "waste vs slack", XLabel: "slack (s)", YLabel: "wasted",
+		Series: []Series{
+			{Label: "JS-WRR", X: []float64{0, 500, 1000}, Y: []float64{0.5, 0.4, 0.3}},
+			{Label: "JS-LOCAL", X: []float64{0, 500, 1000}, Y: []float64{0.5, 0.1, 0.0}},
+		},
+	}
+}
+
+func TestLineSVGWellFormed(t *testing.T) {
+	svg := lineChart().LineSVG()
+	for _, want := range []string{"<svg", "</svg>", "<polyline", "JS-WRR", "JS-LOCAL", "waste vs slack", "slack (s)"} {
+		if !strings.Contains(svg, want) {
+			t.Fatalf("SVG missing %q", want)
+		}
+	}
+	if strings.Count(svg, "<polyline") != 2 {
+		t.Fatalf("polyline count %d, want 2", strings.Count(svg, "<polyline"))
+	}
+	// One circle per point.
+	if strings.Count(svg, "<circle") != 6 {
+		t.Fatalf("circle count %d, want 6", strings.Count(svg, "<circle"))
+	}
+}
+
+func TestBarSVGWellFormed(t *testing.T) {
+	c := &Chart{
+		Title: "fig4", YLabel: "value",
+		Categories: []string{"violation", "idle"},
+		Series: []Series{
+			{Label: "JS-LOCAL", Y: []float64{0.35, 0.0}},
+			{Label: "JS-GLOBAL", Y: []float64{0.22, 0.0}},
+		},
+	}
+	svg := c.BarSVG()
+	for _, want := range []string{"<svg", "</svg>", "<rect", "violation", "idle", "JS-LOCAL"} {
+		if !strings.Contains(svg, want) {
+			t.Fatalf("bar SVG missing %q", want)
+		}
+	}
+	// Frame rect + 3 bars with positive height (zero-height bars still
+	// render with height 0... they render as rects). At least 3 data
+	// rects + frame + 2 legend swatches.
+	if strings.Count(svg, "<rect") < 5 {
+		t.Fatalf("rect count %d too low", strings.Count(svg, "<rect"))
+	}
+}
+
+func TestEmptyCharts(t *testing.T) {
+	c := &Chart{Title: "empty"}
+	if svg := c.LineSVG(); !strings.Contains(svg, "</svg>") {
+		t.Fatal("empty line chart not well-formed")
+	}
+	if svg := c.BarSVG(); !strings.Contains(svg, "</svg>") {
+		t.Fatal("empty bar chart not well-formed")
+	}
+}
+
+func TestNaNSkipped(t *testing.T) {
+	c := &Chart{
+		Series: []Series{{Label: "s", X: []float64{0, 1, 2}, Y: []float64{0.5, math.NaN(), 0.7}}},
+	}
+	svg := c.LineSVG()
+	if strings.Count(svg, "<circle") != 2 {
+		t.Fatalf("NaN point not skipped: %d circles", strings.Count(svg, "<circle"))
+	}
+	if strings.Contains(svg, "NaN") {
+		t.Fatal("NaN leaked into SVG")
+	}
+}
+
+func TestEscaping(t *testing.T) {
+	c := &Chart{Title: `<script>"x"&y</script>`, Series: []Series{{Label: "a<b", X: []float64{0, 1}, Y: []float64{0, 1}}}}
+	svg := c.LineSVG()
+	if strings.Contains(svg, "<script>") {
+		t.Fatal("title not escaped")
+	}
+	if !strings.Contains(svg, "a&lt;b") {
+		t.Fatal("label not escaped")
+	}
+}
+
+func TestTicksRound(t *testing.T) {
+	tk := ticks(0, 1.05, 5)
+	if len(tk) < 3 {
+		t.Fatalf("ticks = %v", tk)
+	}
+	for i := 1; i < len(tk); i++ {
+		if tk[i] <= tk[i-1] {
+			t.Fatalf("ticks not increasing: %v", tk)
+		}
+	}
+	if tk[0] < 0 || tk[len(tk)-1] > 1.06 {
+		t.Fatalf("ticks out of range: %v", tk)
+	}
+	if got := ticks(5, 5, 4); len(got) != 2 {
+		t.Fatalf("degenerate range ticks = %v", got)
+	}
+}
+
+func TestFmtTick(t *testing.T) {
+	cases := map[float64]string{
+		0:    "0",
+		0.5:  "0.5",
+		1:    "1",
+		12.5: "12.5",
+		1e7:  "1.0e+07",
+	}
+	for in, want := range cases {
+		if got := fmtTick(in); got != want {
+			t.Fatalf("fmtTick(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// Property: arbitrary finite data never produces NaN/Inf coordinates in
+// the SVG and always closes the document.
+func TestPropertySVGRobust(t *testing.T) {
+	f := func(ys [6]float64, xs [6]float64) bool {
+		s := Series{Label: "s"}
+		for i := range ys {
+			x, y := xs[i], ys[i]
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+				continue
+			}
+			s.X = append(s.X, x)
+			s.Y = append(s.Y, math.Abs(y))
+		}
+		c := &Chart{Series: []Series{s}}
+		svg := c.LineSVG()
+		return strings.HasSuffix(strings.TrimSpace(svg), "</svg>") &&
+			!strings.Contains(svg, "NaN") && !strings.Contains(svg, "Inf")
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,692 @@
+// Package client is the emulated BOINC client: the paper's BCE core.
+// It drives the real policy implementations (round-robin simulation,
+// debt/REC accounting, job scheduling, work fetch) inside a discrete-
+// event simulation of everything else — job execution, host
+// availability, network delays and project servers — and reports the
+// figures of merit.
+package client
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"bce/internal/account"
+	"bce/internal/fetch"
+	"bce/internal/host"
+	"bce/internal/job"
+	"bce/internal/metrics"
+	"bce/internal/project"
+	"bce/internal/rrsim"
+	"bce/internal/sched"
+	"bce/internal/sim"
+	"bce/internal/stats"
+	"bce/internal/timeline"
+	"bce/internal/transfer"
+)
+
+// Config assembles one emulation run: a scenario (host + projects), the
+// policy variants under test, and emulator knobs.
+type Config struct {
+	Host     *host.Host
+	Projects []project.Spec
+
+	JobSched sched.Policy
+	JobFetch fetch.PolicyKind
+
+	// RECHalfLife is the global-accounting averaging half-life
+	// (paper §5.4's parameter A); 0 uses the BOINC default.
+	RECHalfLife float64
+
+	// DeadlineMargin widens the endangered classification (seconds).
+	DeadlineMargin float64
+
+	// RPCDelay is the simulated latency of one scheduler RPC (default 5 s).
+	RPCDelay float64
+
+	// ReportMaxDelay bounds how long a completed job waits before the
+	// client makes an RPC just to report it (default 3600 s).
+	ReportMaxDelay float64
+
+	Duration float64 // emulation length in seconds
+	Seed     int64
+
+	// Log receives the emulator's message log (scheduling decisions);
+	// nil discards it.
+	Log io.Writer
+
+	// RecordTimeline enables per-task execution segments.
+	RecordTimeline bool
+
+	// MonotonyWindow overrides the monotony metric window (seconds).
+	MonotonyWindow float64
+
+	// TransferPolicy orders file transfers when the host has a finite
+	// link speed (file-transfer extension).
+	TransferPolicy transfer.Policy
+}
+
+func (c Config) withDefaults() Config {
+	if c.RPCDelay <= 0 {
+		c.RPCDelay = 5
+	}
+	if c.ReportMaxDelay <= 0 {
+		c.ReportMaxDelay = 3600
+	}
+	if c.DeadlineMargin == 0 {
+		// Default safety margin: two scheduling periods, covering the
+		// reaction delay between classification and enforcement plus
+		// one checkpoint period of potentially lost work. Negative
+		// means "exactly zero margin".
+		c.DeadlineMargin = 120
+	} else if c.DeadlineMargin < 0 {
+		c.DeadlineMargin = 0
+	}
+	if c.Duration <= 0 {
+		c.Duration = 10 * 86400 // the paper's default period
+	}
+	return c
+}
+
+// Validate reports configuration problems.
+func (c Config) Validate() error {
+	if c.Host == nil {
+		return fmt.Errorf("client: no host")
+	}
+	if err := c.Host.Hardware.Validate(); err != nil {
+		return err
+	}
+	if len(c.Projects) == 0 {
+		return fmt.Errorf("client: no projects")
+	}
+	for _, p := range c.Projects {
+		if err := p.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Result is the outcome of one emulation run.
+type Result struct {
+	Metrics  metrics.Metrics
+	Timeline *timeline.Recorder // nil unless requested
+	Events   uint64             // simulator events dispatched
+
+	// Per-project dispatch counters, from the server substrate.
+	Dispatched []int
+	Refused    []int
+}
+
+const (
+	rpcRetryMin    = 60       // min interval between RPCs to one project
+	rpcBackoffMax  = 4 * 3600 // cap on exponential backoff
+	maxQueuedTasks = 20000    // runaway-fetch guard
+)
+
+// Client is one emulation in progress.
+type Client struct {
+	cfg     Config
+	sim     *sim.Simulator
+	hw      *host.Hardware
+	prefs   host.Preferences
+	servers []*project.Server
+	shares  []float64
+	acct    account.Accounting
+	rec     *metrics.Recorder
+	tl      *timeline.Recorder
+	rng     *stats.RNG
+
+	tasks   []*job.Task
+	running map[*job.Task]bool
+
+	lastAdvance float64
+
+	computeOn bool
+	gpuOn     bool
+	netOn     bool
+	availMark float64 // start of current available span
+
+	tickTimer *sim.Timer
+
+	rpcInFlight   bool
+	backoffUntil  []float64
+	backoffCount  []int
+	pendingReport [][]*job.Task
+	reportDue     []*sim.Timer
+
+	xfer *transfer.Manager
+
+	onFrac [host.NumProcTypes]float64
+}
+
+// New builds a client for the config.
+func New(cfg Config) (*Client, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Client{
+		cfg:       cfg,
+		sim:       sim.New(),
+		hw:        &cfg.Host.Hardware,
+		prefs:     cfg.Host.Prefs.Defaults(),
+		running:   make(map[*job.Task]bool),
+		rng:       stats.NewRNG(cfg.Seed),
+		computeOn: true,
+		gpuOn:     true,
+		netOn:     true,
+	}
+	c.shares = make([]float64, len(cfg.Projects))
+	for i, p := range cfg.Projects {
+		c.shares[i] = p.Share
+		srv, err := project.NewServer(p, i, c.rng.Fork("server/"+p.Name))
+		if err != nil {
+			return nil, err
+		}
+		c.servers = append(c.servers, srv)
+	}
+	switch cfg.JobSched {
+	case sched.JSGlobal, sched.JSLLF:
+		c.acct = account.NewGlobalREC(c.shares, cfg.RECHalfLife)
+	default:
+		c.acct = account.NewLocalDebt(c.shares, c.hw)
+	}
+	c.rec = metrics.New(c.hw, c.shares, 0)
+	if cfg.MonotonyWindow > 0 {
+		c.rec.SetWindow(cfg.MonotonyWindow)
+	}
+	if cfg.RecordTimeline {
+		c.tl = timeline.NewRecorder()
+	}
+	c.xfer = transfer.New(c.sim, c.hw.DownloadBps, c.hw.UploadBps, cfg.TransferPolicy)
+	c.backoffUntil = make([]float64, len(cfg.Projects))
+	c.backoffCount = make([]int, len(cfg.Projects))
+	c.pendingReport = make([][]*job.Task, len(cfg.Projects))
+	c.reportDue = make([]*sim.Timer, len(cfg.Projects))
+
+	// The client's long-run availability estimate, used by the
+	// round-robin simulation and sent to servers for deadline checks.
+	computeFrac := cfg.Host.Avail.Frac(host.Compute)
+	gpuFrac := computeFrac * cfg.Host.Avail.Frac(host.GPUCompute)
+	c.onFrac[host.CPU] = computeFrac
+	c.onFrac[host.NvidiaGPU] = gpuFrac
+	c.onFrac[host.AtiGPU] = gpuFrac
+	return c, nil
+}
+
+func (c *Client) logf(format string, args ...any) {
+	if c.cfg.Log != nil {
+		fmt.Fprintf(c.cfg.Log, "[%10.1f] %s\n", c.sim.Now(), fmt.Sprintf(format, args...))
+	}
+}
+
+// Run executes the emulation and returns the figures of merit.
+func (c *Client) Run() (*Result, error) {
+	c.startAvailability()
+	c.availMark = 0
+	c.scheduleTick(0)
+	c.sim.RunUntil(c.cfg.Duration)
+
+	// Final bookkeeping at the end time.
+	c.advance()
+	if c.computeOn {
+		c.rec.OnAvailable(c.availMark, c.sim.Now())
+	}
+	if c.tl != nil {
+		c.tl.CloseAll(c.sim.Now())
+	}
+	res := &Result{
+		Metrics: c.rec.Report(),
+		Events:  c.sim.Fired(),
+	}
+	res.Timeline = c.tl
+	for _, s := range c.servers {
+		res.Dispatched = append(res.Dispatched, s.Dispatched)
+		res.Refused = append(res.Refused, s.Refused)
+	}
+	return res, nil
+}
+
+// startAvailability schedules the on/off transition events for the
+// three availability channels (random processes or trace replays).
+func (c *Client) startAvailability() {
+	for ch := host.Channel(0); ch < host.NumChannels; ch++ {
+		src := c.cfg.Host.Avail.Source(ch, c.rng.Fork("avail/"+ch.String()))
+		c.startChannel(ch, src)
+	}
+}
+
+func (c *Client) startChannel(ch host.Channel, src host.PeriodSource) {
+	if src == nil {
+		return // always on
+	}
+	// Each event enters the next period: flip the channel to the
+	// period's state and schedule the following transition at its end.
+	var next func()
+	next = func() {
+		d, on := src.Next()
+		c.setChannel(ch, on)
+		if d <= 0 && on {
+			return // available forever
+		}
+		c.sim.After(d, next)
+	}
+	// First period: the client starts in the "on" state; a trace may
+	// begin with an off period, which takes effect immediately.
+	d, on := src.Next()
+	if d <= 0 && on {
+		return
+	}
+	if !on {
+		c.setChannel(ch, false)
+	}
+	c.sim.After(d, next)
+}
+
+func (c *Client) setChannel(ch host.Channel, on bool) {
+	switch ch {
+	case host.Compute:
+		if on == c.computeOn {
+			return
+		}
+		c.advance()
+		c.computeOn = on
+		if on {
+			c.logf("host available: computing resumes")
+			c.availMark = c.sim.Now()
+			c.scheduleTick(0)
+		} else {
+			c.logf("host unavailable: computing suspended")
+			c.rec.OnAvailable(c.availMark, c.sim.Now())
+			c.preemptAll()
+		}
+	case host.GPUCompute:
+		if on == c.gpuOn {
+			return
+		}
+		c.advance()
+		c.gpuOn = on
+		c.logf("GPU computing %s", onOff(on))
+		if c.computeOn {
+			c.scheduleTick(0)
+		}
+	case host.Network:
+		if on == c.netOn {
+			return
+		}
+		c.netOn = on
+		c.xfer.SetOnline(on)
+		c.logf("network %s", onOff(on))
+		if on && c.computeOn {
+			c.scheduleTick(0)
+		}
+	}
+}
+
+func onOff(b bool) string {
+	if b {
+		return "resumed"
+	}
+	return "suspended"
+}
+
+func (c *Client) preemptAll() {
+	for _, t := range c.runningInOrder() {
+		c.stopTask(t)
+	}
+}
+
+// runningInOrder returns the running tasks in queue (arrival) order.
+// Iterating the running set through the tasks slice keeps emulations
+// deterministic: map iteration order would reorder floating-point
+// accumulation and event scheduling between runs.
+func (c *Client) runningInOrder() []*job.Task {
+	out := make([]*job.Task, 0, len(c.running))
+	for _, t := range c.tasks {
+		if c.running[t] {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// stopTask preempts one running task, accounting for lost work.
+func (c *Client) stopTask(t *job.Task) {
+	lost := t.Preempt(!c.prefs.LeaveInMemory)
+	if lost > 0 {
+		c.rec.OnLostWork(t, lost)
+		c.logf("preempt %s (lost %.0f s since checkpoint)", t.Name, lost)
+	} else {
+		c.logf("preempt %s", t.Name)
+	}
+	if c.tl != nil {
+		c.tl.Stop(c.sim.Now(), t.Name)
+	}
+	delete(c.running, t)
+}
+
+// advance credits execution to running tasks for the span since the
+// last advance, charging accounting and handling completions.
+func (c *Client) advance() {
+	now := c.sim.Now()
+	dt := now - c.lastAdvance
+	if dt <= 0 {
+		c.lastAdvance = now
+		return
+	}
+	var completed []*job.Task
+	for _, t := range c.runningInOrder() {
+		// A task stops consuming the processor the moment it finishes;
+		// clip the credited span so late advances (e.g. the final
+		// catch-up at the end of the run) don't inflate usage.
+		span := dt
+		if r := t.Remaining(); r < span {
+			span = r
+		}
+		end := c.lastAdvance + span
+		c.rec.OnRun(c.lastAdvance, end, t)
+		u := t.Usage
+		cpuFlops := u.AvgCPUs * c.hw.Proc[host.CPU].FLOPSPerInst
+		c.acct.Charge(end, t.Project, host.CPU, u.AvgCPUs*span, cpuFlops*span)
+		if u.IsGPU() {
+			gflops := u.GPUUsage * c.hw.Proc[u.GPUType].FLOPSPerInst
+			c.acct.Charge(end, t.Project, u.GPUType, u.GPUUsage*span, gflops*span)
+		}
+		if t.Advance(span, end) {
+			completed = append(completed, t)
+		}
+	}
+	c.lastAdvance = now
+	for _, t := range completed {
+		c.completeTask(t)
+	}
+}
+
+func (c *Client) completeTask(t *job.Task) {
+	delete(c.running, t)
+	if c.tl != nil {
+		c.tl.Stop(c.sim.Now(), t.Name)
+	}
+	c.rec.OnComplete(t)
+	if t.MissedDeadline {
+		c.logf("completed %s AFTER deadline (%.0f > %.0f)", t.Name, t.CompletedAt, t.Deadline)
+	} else {
+		c.logf("completed %s (deadline %.0f)", t.Name, t.Deadline)
+	}
+	// Remove from the queue.
+	for i, q := range c.tasks {
+		if q == t {
+			c.tasks = append(c.tasks[:i], c.tasks[i+1:]...)
+			break
+		}
+	}
+	// Output files must be uploaded before the result can be reported.
+	if t.OutputBytes > 0 && c.hw.UploadBps > 0 {
+		c.logf("upload %s (%.0f bytes)", t.Name, t.OutputBytes)
+		c.xfer.Enqueue(transfer.Up, &transfer.Transfer{
+			Name:     t.Name,
+			Bytes:    t.OutputBytes,
+			Deadline: t.Deadline,
+			Done:     func() { c.readyToReport(t) },
+		})
+		return
+	}
+	c.readyToReport(t)
+}
+
+// readyToReport queues a completed (and fully uploaded) task for the
+// next scheduler RPC to its project, bounding the wait.
+func (c *Client) readyToReport(t *job.Task) {
+	p := t.Project
+	c.pendingReport[p] = append(c.pendingReport[p], t)
+	if c.reportDue[p] == nil {
+		deadline := c.sim.Now() + c.cfg.ReportMaxDelay
+		c.reportDue[p] = c.sim.At(deadline, func() {
+			c.reportDue[p] = nil
+			if len(c.pendingReport[p]) > 0 && c.netOn && !c.rpcInFlight {
+				c.issueRPC(p, nil)
+			}
+		})
+	}
+}
+
+// scheduleTick coalesces scheduling passes: it ensures a tick fires no
+// later than delay seconds from now.
+func (c *Client) scheduleTick(delay float64) {
+	at := c.sim.Now() + delay
+	if c.tickTimer != nil && !c.tickTimer.Canceled() && c.tickTimer.At() <= at {
+		return // an earlier tick is already pending
+	}
+	if c.tickTimer != nil {
+		c.sim.Cancel(c.tickTimer)
+	}
+	c.tickTimer = c.sim.At(at, func() {
+		c.tickTimer = nil // this tick has fired; it no longer blocks rescheduling
+		c.tick()
+	})
+}
+
+// accruesShare is the eligibility predicate for debt accrual: a project
+// accrues type-t debt while it supplies type-t jobs, whether or not any
+// are currently queued (otherwise a starved project would never regain
+// priority; the paper notes this accrual question is left open and we
+// follow BOINC's work-fetch debt).
+func (c *Client) accruesShare(p int, t host.ProcType) bool {
+	return c.servers[p].SuppliesType(t)
+}
+
+// runRRSim runs the round-robin simulation over the current queue.
+func (c *Client) runRRSim() (*rrsim.Result, map[*job.Task]bool) {
+	jobs := make([]*rrsim.Job, 0, len(c.tasks))
+	for _, t := range c.tasks {
+		if !t.Finished() {
+			jobs = append(jobs, rrsim.NewJob(t))
+		}
+	}
+	in := rrsim.Input{
+		Now:            c.sim.Now(),
+		Hardware:       c.hw,
+		Shares:         c.shares,
+		OnFrac:         c.onFrac,
+		HorizonMin:     c.prefs.MinQueue,
+		HorizonMax:     c.prefs.MaxQueue,
+		DeadlineMargin: c.cfg.DeadlineMargin,
+	}
+	in.Jobs = jobs
+	res := rrsim.Run(in)
+	endangered := make(map[*job.Task]bool)
+	for _, j := range jobs {
+		if j.Endangered {
+			j.Task.DeadlineFlagged = true // latch; see job.Task.DeadlineFlagged
+		}
+		if j.Task.DeadlineFlagged {
+			endangered[j.Task] = true
+		}
+	}
+	return res, endangered
+}
+
+// tick is one scheduling pass: advance time, re-run the round-robin
+// simulation, enforce the job schedule, consider work fetch, and
+// schedule the next pass.
+func (c *Client) tick() {
+	c.advance()
+	if !c.computeOn {
+		return
+	}
+	now := c.sim.Now()
+	c.acct.Update(now, c.accruesShare)
+	rr, endangered := c.runRRSim()
+
+	dec := sched.Enforce(sched.Input{
+		Policy:      c.cfg.JobSched,
+		Now:         now,
+		Hardware:    c.hw,
+		Tasks:       c.tasks,
+		Endangered:  func(t *job.Task) bool { return endangered[t] },
+		Prio:        c.acct.PrioSched,
+		MaxMemBytes: c.prefs.MaxMemFrac * c.hw.MemBytes,
+		GPUAllowed:  c.gpuOn,
+	})
+	newSet := dec.RunSet()
+	for _, t := range c.runningInOrder() {
+		if !newSet[t] {
+			c.stopTask(t)
+		}
+	}
+	for _, t := range dec.Run {
+		if !c.running[t] {
+			t.Start(now)
+			c.running[t] = true
+			c.logf("start %s (project %d, %s)", t.Name, t.Project, t.Usage.Type())
+			if c.tl != nil {
+				c.tl.Start(now, t.Name, t.Project, t.Usage.Type(), t.Usage.Instances())
+			}
+		}
+	}
+
+	// Next completion wakes us exactly on time.
+	next := c.prefs.CPUSchedPeriod
+	for t := range c.running { // min over a set: order-independent
+		if r := t.Remaining(); r < next {
+			next = r
+		}
+	}
+
+	c.maybeFetch(rr)
+	c.scheduleTick(math.Max(next, 1e-3))
+}
+
+// maybeFetch runs the work-fetch policy and issues at most one RPC.
+func (c *Client) maybeFetch(rr *rrsim.Result) {
+	if c.rpcInFlight || !c.netOn {
+		return
+	}
+	if len(c.tasks) > maxQueuedTasks {
+		c.logf("queue cap reached (%d tasks); fetch suspended", len(c.tasks))
+		return
+	}
+	now := c.sim.Now()
+	views := make([]fetch.ProjectView, len(c.servers))
+	for i, s := range c.servers {
+		i, s := i, s
+		views[i] = fetch.ProjectView{
+			Share:        s.Spec.Share,
+			PrioFetch:    c.acct.PrioFetch(i),
+			Fetchable:    func(t host.ProcType) bool { return s.SuppliesType(t) && now >= c.backoffUntil[i] },
+			SuppliesType: s.SuppliesType,
+		}
+	}
+	plan := fetch.Decide(c.cfg.JobFetch, fetch.Input{
+		Now:      now,
+		Hardware: c.hw,
+		RR:       rr,
+		MinQueue: c.prefs.MinQueue,
+		MaxQueue: c.prefs.MaxQueue,
+		Projects: views,
+	})
+	if plan.None() {
+		return
+	}
+	c.issueRPC(plan.Project, plan.Requests)
+}
+
+// issueRPC simulates one scheduler RPC to project p: it reports any
+// completed tasks of p and requests the planned work.
+func (c *Client) issueRPC(p int, reqs []project.Request) {
+	c.rpcInFlight = true
+	c.rec.OnRPC()
+	reporting := len(c.pendingReport[p])
+	c.logf("RPC to project %d: report %d, request %s", p, reporting, fmtReqs(reqs))
+	// The server stamps deadlines at dispatch time; the reply reaches
+	// the client one RPC delay later, so that delay consumes slack.
+	sentAt := c.sim.Now()
+	c.sim.After(c.cfg.RPCDelay, func() {
+		c.rpcInFlight = false
+		now := c.sim.Now()
+		srv := c.servers[p]
+		if !srv.Reachable(now) {
+			c.backoff(p, "project down")
+			c.scheduleTick(0)
+			return
+		}
+		// Report completions.
+		for _, t := range c.pendingReport[p] {
+			t.State = job.Reported
+		}
+		c.pendingReport[p] = c.pendingReport[p][:0]
+		if c.reportDue[p] != nil {
+			c.sim.Cancel(c.reportDue[p])
+			c.reportDue[p] = nil
+		}
+		// Receive new work. Jobs are generated (and their deadlines
+		// stamped) at send time, but arrive only now.
+		got := srv.Dispatch(sentAt, reqs, project.HostInfo{OnFrac: c.onFrac[host.CPU]})
+		if len(got) == 0 && project.EstimatedQueueSeconds(reqs) > 0 {
+			c.backoff(p, "no work available")
+		} else {
+			c.backoffCount[p] = 0
+			c.backoffUntil[p] = now + rpcRetryMin
+		}
+		for _, t := range got {
+			t := t
+			t.ReceivedAt = now
+			c.tasks = append(c.tasks, t)
+			c.logf("got %s (est %.0f s, deadline %.0f)", t.Name, t.EstDuration, t.Deadline)
+			// Input files must arrive before the task can run.
+			if t.InputBytes > 0 && c.hw.DownloadBps > 0 {
+				t.State = job.Downloading
+				c.xfer.Enqueue(transfer.Down, &transfer.Transfer{
+					Name:     t.Name,
+					Bytes:    t.InputBytes,
+					Deadline: t.Deadline,
+					Done: func() {
+						t.State = job.Queued
+						c.logf("download of %s complete", t.Name)
+						c.scheduleTick(0)
+					},
+				})
+			}
+		}
+		c.scheduleTick(0)
+	})
+}
+
+// backoff applies exponential backoff to a project after a failed or
+// empty RPC.
+func (c *Client) backoff(p int, why string) {
+	c.backoffCount[p]++
+	d := float64(uint64(60) << uint(min(c.backoffCount[p]-1, 8)))
+	if d > rpcBackoffMax {
+		d = rpcBackoffMax
+	}
+	// Jitter avoids lock-step retries.
+	d *= 0.5 + c.rng.Float64()
+	c.backoffUntil[p] = c.sim.Now() + d
+	c.logf("backoff project %d for %.0f s (%s)", p, d, why)
+}
+
+func fmtReqs(reqs []project.Request) string {
+	if len(reqs) == 0 {
+		return "nothing (report only)"
+	}
+	s := ""
+	for i, r := range reqs {
+		if i > 0 {
+			s += ", "
+		}
+		s += fmt.Sprintf("%s %.0f s / %.1f inst", r.Type, r.Seconds, r.Instances)
+	}
+	return s
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// QueueLen exposes the current queue length (for tests).
+func (c *Client) QueueLen() int { return len(c.tasks) }

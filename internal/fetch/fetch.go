@@ -1,0 +1,219 @@
+// Package fetch implements the client's job-fetch policies (paper §3.4):
+//
+//   - JF-ORIG: whenever the round-robin simulation shows a shortfall
+//     within the min_queue horizon for some processor type, ask the
+//     highest-fetch-priority project supplying that type for its
+//     share-weighted slice of the shortfall.
+//   - JF-HYSTERESIS: wait until a processor type's saturated period
+//     drops below min_queue, then ask the single highest-priority
+//     project for the whole shortfall up to max_queue.
+//
+// The two differ in trigger (top-up vs hysteresis) and in how the
+// request is divided (share-split vs single project), which drives the
+// paper's Figure 5 result: fewer, larger RPCs under hysteresis.
+package fetch
+
+import (
+	"fmt"
+
+	"bce/internal/host"
+	"bce/internal/project"
+	"bce/internal/rrsim"
+)
+
+// PolicyKind selects a job-fetch policy.
+type PolicyKind int
+
+const (
+	// JFOrig is the original top-up policy.
+	JFOrig PolicyKind = iota
+	// JFHysteresis is the hysteresis policy.
+	JFHysteresis
+	// JFSpread is a hybrid explored as one of the paper's §6.2 "other
+	// policy alternatives": it triggers like JF-HYSTERESIS (wait until
+	// SAT(T) < min_queue) but sizes the request like JF-ORIG (the top
+	// project gets only its share-weighted slice of the shortfall), so
+	// refills are infrequent but spread across projects over successive
+	// RPCs — trading some of hysteresis's RPC savings for less
+	// monotony.
+	JFSpread
+)
+
+// String returns the paper's name for the policy.
+func (p PolicyKind) String() string {
+	switch p {
+	case JFOrig:
+		return "JF-ORIG"
+	case JFHysteresis:
+		return "JF-HYSTERESIS"
+	case JFSpread:
+		return "JF-SPREAD"
+	}
+	return fmt.Sprintf("PolicyKind(%d)", int(p))
+}
+
+// ProjectView is what the fetch policy may know about one project when
+// deciding whom to ask for work.
+type ProjectView struct {
+	Share     float64
+	PrioFetch float64
+	// Fetchable reports whether the project can be asked for type-t
+	// jobs right now (supplies the type, reachable, not backed off).
+	Fetchable func(t host.ProcType) bool
+	// SuppliesType reports the static property used for share-splitting.
+	SuppliesType func(t host.ProcType) bool
+}
+
+// Input is one fetch decision's context.
+type Input struct {
+	Now      float64
+	Hardware *host.Hardware
+	RR       *rrsim.Result
+	MinQueue float64
+	MaxQueue float64
+	Projects []ProjectView
+}
+
+// Plan is the outcome: issue one scheduler RPC to Project with the
+// given per-type requests, or no RPC (Project < 0).
+type Plan struct {
+	Project  int
+	Requests []project.Request
+}
+
+// None reports whether the plan is "do nothing".
+func (p Plan) None() bool { return p.Project < 0 }
+
+// Decide runs the policy. At most one RPC is planned per call (the
+// client's scheduler RPC loop issues one at a time, like BOINC's).
+func Decide(kind PolicyKind, in Input) Plan {
+	switch kind {
+	case JFHysteresis:
+		return decideHysteresis(in)
+	case JFSpread:
+		return decideSpread(in)
+	default:
+		return decideOrig(in)
+	}
+}
+
+// bestProject returns the fetchable project with the highest fetch
+// priority for type t, or -1.
+func bestProject(in Input, t host.ProcType) int {
+	best := -1
+	for p, v := range in.Projects {
+		if v.Share <= 0 || v.Fetchable == nil || !v.Fetchable(t) {
+			continue
+		}
+		if best < 0 || v.PrioFetch > in.Projects[best].PrioFetch {
+			best = p
+		}
+	}
+	return best
+}
+
+// shareFrac returns project p's resource share among projects that
+// supply type t ("X" in the paper's JF-ORIG description).
+func shareFrac(in Input, p int, t host.ProcType) float64 {
+	var sum float64
+	for _, v := range in.Projects {
+		if v.Share > 0 && v.SuppliesType != nil && v.SuppliesType(t) {
+			sum += v.Share
+		}
+	}
+	if sum <= 0 {
+		return 0
+	}
+	return in.Projects[p].Share / sum
+}
+
+func decideOrig(in Input) Plan {
+	// "if, for a given processor type T, SHORTFALL(T) > 0, then let P
+	// be the project with jobs of type T for which PRIO_fetch(P) is
+	// greatest. Request X*SHORTFALL(T) instance-seconds."
+	// JF-ORIG's shortfall is measured over the min_queue horizon.
+	for t := host.ProcType(0); t < host.NumProcTypes; t++ {
+		if in.Hardware.Proc[t].Count == 0 {
+			continue
+		}
+		sf := in.RR.ShortfallMin[t]
+		if sf <= 1e-9 {
+			continue
+		}
+		p := bestProject(in, t)
+		if p < 0 {
+			continue
+		}
+		x := shareFrac(in, p, t)
+		if x <= 0 {
+			continue
+		}
+		return Plan{Project: p, Requests: []project.Request{{
+			Type:      t,
+			Instances: in.RR.IdleNow[t],
+			Seconds:   x * sf,
+		}}}
+	}
+	return Plan{Project: -1}
+}
+
+func decideHysteresis(in Input) Plan {
+	// "if, for a processor type T, SAT(T) < min_secs, then let P be the
+	// project with jobs of type T for which PRIO_fetch(P) is greatest.
+	// Request SHORTFALL(T) instance-seconds." Shortfall here is over
+	// the max_queue horizon, producing the hysteresis band.
+	for t := host.ProcType(0); t < host.NumProcTypes; t++ {
+		if in.Hardware.Proc[t].Count == 0 {
+			continue
+		}
+		if in.RR.Saturated[t] >= in.MinQueue {
+			continue
+		}
+		sf := in.RR.ShortfallMax[t]
+		if sf <= 1e-9 {
+			continue
+		}
+		p := bestProject(in, t)
+		if p < 0 {
+			continue
+		}
+		return Plan{Project: p, Requests: []project.Request{{
+			Type:      t,
+			Instances: in.RR.IdleNow[t],
+			Seconds:   sf,
+		}}}
+	}
+	return Plan{Project: -1}
+}
+
+func decideSpread(in Input) Plan {
+	// Hysteresis trigger, share-split request: refills start only when
+	// the queue drains below min_queue, but each RPC asks the top
+	// project for just its share slice of the max-horizon shortfall.
+	for t := host.ProcType(0); t < host.NumProcTypes; t++ {
+		if in.Hardware.Proc[t].Count == 0 {
+			continue
+		}
+		if in.RR.Saturated[t] >= in.MinQueue {
+			continue
+		}
+		sf := in.RR.ShortfallMax[t]
+		if sf <= 1e-9 {
+			continue
+		}
+		p := bestProject(in, t)
+		if p < 0 {
+			continue
+		}
+		x := shareFrac(in, p, t)
+		if x <= 0 {
+			continue
+		}
+		return Plan{Project: p, Requests: []project.Request{{
+			Type:      t,
+			Instances: in.RR.IdleNow[t],
+			Seconds:   x * sf,
+		}}}
+	}
+	return Plan{Project: -1}
+}

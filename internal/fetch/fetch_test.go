@@ -1,0 +1,245 @@
+package fetch
+
+import (
+	"math"
+	"testing"
+
+	"bce/internal/host"
+	"bce/internal/rrsim"
+)
+
+func hwCPU(n int) *host.Hardware {
+	h := host.StdHost(n, 1e9, 0, 0)
+	return &h.Hardware
+}
+
+func hwMixed(ncpu, ngpu int) *host.Hardware {
+	h := host.StdHost(ncpu, 1e9, ngpu, 10e9)
+	return &h.Hardware
+}
+
+func cpuProject(share, prio float64) ProjectView {
+	supplies := func(t host.ProcType) bool { return t == host.CPU }
+	return ProjectView{Share: share, PrioFetch: prio, Fetchable: supplies, SuppliesType: supplies}
+}
+
+func gpuProject(share, prio float64) ProjectView {
+	supplies := func(t host.ProcType) bool { return t == host.NvidiaGPU }
+	return ProjectView{Share: share, PrioFetch: prio, Fetchable: supplies, SuppliesType: supplies}
+}
+
+func rrWith(sfMin, sfMax, sat, idle float64) *rrsim.Result {
+	r := &rrsim.Result{}
+	r.ShortfallMin[host.CPU] = sfMin
+	r.ShortfallMax[host.CPU] = sfMax
+	r.Saturated[host.CPU] = sat
+	r.IdleNow[host.CPU] = idle
+	return r
+}
+
+func TestPolicyNames(t *testing.T) {
+	if JFOrig.String() != "JF-ORIG" || JFHysteresis.String() != "JF-HYSTERESIS" {
+		t.Fatal("policy names wrong")
+	}
+	if PolicyKind(5).String() != "PolicyKind(5)" {
+		t.Fatal("unknown kind formatting")
+	}
+}
+
+func TestOrigNoShortfallNoFetch(t *testing.T) {
+	in := Input{
+		Hardware: hwCPU(2), RR: rrWith(0, 500, 1e6, 0),
+		MinQueue: 1000, MaxQueue: 2000,
+		Projects: []ProjectView{cpuProject(1, 0)},
+	}
+	if p := Decide(JFOrig, in); !p.None() {
+		t.Fatalf("JF-ORIG fetched with zero min shortfall: %+v", p)
+	}
+}
+
+func TestOrigRequestsShareSlice(t *testing.T) {
+	// Two CPU projects, shares 1 and 3; best priority is project 0.
+	in := Input{
+		Hardware: hwCPU(2), RR: rrWith(1000, 4000, 0, 2),
+		MinQueue: 1000, MaxQueue: 2000,
+		Projects: []ProjectView{cpuProject(1, 10), cpuProject(3, 5)},
+	}
+	p := Decide(JFOrig, in)
+	if p.None() || p.Project != 0 {
+		t.Fatalf("plan = %+v, want RPC to project 0", p)
+	}
+	// X = 1/4, shortfall(min horizon) = 1000 → request 250.
+	if math.Abs(p.Requests[0].Seconds-250) > 1e-9 {
+		t.Fatalf("requested %v s, want 250 (share slice)", p.Requests[0].Seconds)
+	}
+	if p.Requests[0].Instances != 2 {
+		t.Fatalf("requested %v instances, want 2 idle", p.Requests[0].Instances)
+	}
+}
+
+func TestHysteresisTriggersOnSAT(t *testing.T) {
+	in := Input{
+		Hardware: hwCPU(2), RR: rrWith(100, 4000, 500, 1),
+		MinQueue: 1000, MaxQueue: 2000,
+		Projects: []ProjectView{cpuProject(1, 0), cpuProject(1, 1)},
+	}
+	// SAT 500 < min_queue 1000: fetch the whole max-horizon shortfall
+	// from the single best project (project 1, higher priority).
+	p := Decide(JFHysteresis, in)
+	if p.None() || p.Project != 1 {
+		t.Fatalf("plan = %+v, want RPC to project 1", p)
+	}
+	if p.Requests[0].Seconds != 4000 {
+		t.Fatalf("requested %v, want entire shortfall 4000", p.Requests[0].Seconds)
+	}
+}
+
+func TestHysteresisHoldsWhileSaturated(t *testing.T) {
+	in := Input{
+		Hardware: hwCPU(2), RR: rrWith(100, 4000, 1500, 0),
+		MinQueue: 1000, MaxQueue: 2000,
+		Projects: []ProjectView{cpuProject(1, 0)},
+	}
+	// SAT 1500 >= min_queue 1000: no fetch even though shortfall > 0.
+	if p := Decide(JFHysteresis, in); !p.None() {
+		t.Fatalf("hysteresis fetched while saturated: %+v", p)
+	}
+}
+
+func TestBestProjectByPriority(t *testing.T) {
+	in := Input{
+		Hardware: hwCPU(1), RR: rrWith(1000, 1000, 0, 1),
+		MinQueue: 100, MaxQueue: 100,
+		Projects: []ProjectView{cpuProject(1, -5), cpuProject(1, 7), cpuProject(1, 3)},
+	}
+	p := Decide(JFOrig, in)
+	if p.Project != 1 {
+		t.Fatalf("picked project %d, want 1 (highest fetch priority)", p.Project)
+	}
+}
+
+func TestUnfetchableProjectSkipped(t *testing.T) {
+	busy := cpuProject(1, 100)
+	busy.Fetchable = func(host.ProcType) bool { return false } // backed off
+	in := Input{
+		Hardware: hwCPU(1), RR: rrWith(1000, 1000, 0, 1),
+		MinQueue: 100, MaxQueue: 100,
+		Projects: []ProjectView{busy, cpuProject(1, 1)},
+	}
+	p := Decide(JFOrig, in)
+	if p.Project != 1 {
+		t.Fatalf("picked project %d, want 1 (0 is backed off)", p.Project)
+	}
+}
+
+func TestNoProjectsNoFetch(t *testing.T) {
+	in := Input{
+		Hardware: hwCPU(1), RR: rrWith(1000, 1000, 0, 1),
+		MinQueue: 100, MaxQueue: 100,
+	}
+	if p := Decide(JFOrig, in); !p.None() {
+		t.Fatal("fetched with no projects")
+	}
+	if p := Decide(JFHysteresis, in); !p.None() {
+		t.Fatal("hysteresis fetched with no projects")
+	}
+}
+
+func TestGPUShortfallAsksGPUProject(t *testing.T) {
+	r := &rrsim.Result{}
+	r.ShortfallMin[host.NvidiaGPU] = 2000
+	r.ShortfallMax[host.NvidiaGPU] = 2000
+	r.IdleNow[host.NvidiaGPU] = 1
+	// CPU fully covered.
+	r.Saturated[host.CPU] = 1e9
+	in := Input{
+		Hardware: hwMixed(4, 1), RR: r,
+		MinQueue: 100, MaxQueue: 100,
+		Projects: []ProjectView{cpuProject(1, 100), gpuProject(1, 0)},
+	}
+	p := Decide(JFOrig, in)
+	if p.None() || p.Project != 1 {
+		t.Fatalf("plan = %+v, want GPU project despite lower priority", p)
+	}
+	if p.Requests[0].Type != host.NvidiaGPU {
+		t.Fatalf("requested type %v, want NVIDIA", p.Requests[0].Type)
+	}
+	// The GPU project supplies only GPU: X = 1 (its share among
+	// GPU-supplying projects).
+	if p.Requests[0].Seconds != 2000 {
+		t.Fatalf("requested %v, want full 2000 (only GPU supplier)", p.Requests[0].Seconds)
+	}
+}
+
+func TestShareFracCountsOnlySuppliers(t *testing.T) {
+	in := Input{
+		Hardware: hwMixed(4, 1), RR: rrWith(1000, 1000, 0, 4),
+		MinQueue: 100, MaxQueue: 100,
+		Projects: []ProjectView{cpuProject(1, 5), gpuProject(3, 0)},
+	}
+	// CPU shortfall: project 0 is the only CPU supplier → X = 1.
+	p := Decide(JFOrig, in)
+	if p.Project != 0 || p.Requests[0].Seconds != 1000 {
+		t.Fatalf("plan = %+v, want project 0 asked for the full 1000", p)
+	}
+}
+
+func TestZeroShareProjectNeverAsked(t *testing.T) {
+	in := Input{
+		Hardware: hwCPU(1), RR: rrWith(1000, 1000, 0, 1),
+		MinQueue: 100, MaxQueue: 100,
+		Projects: []ProjectView{cpuProject(0, 100)},
+	}
+	if p := Decide(JFOrig, in); !p.None() {
+		t.Fatal("zero-share project was asked for work")
+	}
+}
+
+func TestAbsentHardwareSkipped(t *testing.T) {
+	// GPU shortfall reported but host has no GPU: no fetch.
+	r := &rrsim.Result{}
+	r.ShortfallMin[host.NvidiaGPU] = 500
+	r.ShortfallMax[host.NvidiaGPU] = 500
+	in := Input{
+		Hardware: hwCPU(2), RR: r,
+		MinQueue: 100, MaxQueue: 100,
+		Projects: []ProjectView{gpuProject(1, 0)},
+	}
+	if p := Decide(JFOrig, in); !p.None() {
+		t.Fatal("fetched for a processor type the host lacks")
+	}
+}
+
+func TestSpreadTriggersLikeHysteresis(t *testing.T) {
+	in := Input{
+		Hardware: hwCPU(2), RR: rrWith(100, 4000, 1500, 0),
+		MinQueue: 1000, MaxQueue: 2000,
+		Projects: []ProjectView{cpuProject(1, 0)},
+	}
+	// Saturated beyond min_queue: no fetch, like hysteresis.
+	if p := Decide(JFSpread, in); !p.None() {
+		t.Fatalf("JF-SPREAD fetched while saturated: %+v", p)
+	}
+}
+
+func TestSpreadRequestsShareSlice(t *testing.T) {
+	in := Input{
+		Hardware: hwCPU(2), RR: rrWith(100, 4000, 500, 1),
+		MinQueue: 1000, MaxQueue: 2000,
+		Projects: []ProjectView{cpuProject(1, 10), cpuProject(3, 5)},
+	}
+	p := Decide(JFSpread, in)
+	if p.None() || p.Project != 0 {
+		t.Fatalf("plan = %+v, want project 0 (highest priority)", p)
+	}
+	// Share slice of the max-horizon shortfall: 1/4 × 4000 = 1000.
+	if p.Requests[0].Seconds != 1000 {
+		t.Fatalf("requested %v, want 1000 (share slice)", p.Requests[0].Seconds)
+	}
+}
+
+func TestSpreadName(t *testing.T) {
+	if JFSpread.String() != "JF-SPREAD" {
+		t.Fatal("JF-SPREAD name")
+	}
+}

@@ -1,0 +1,298 @@
+// Package fleet implements the paper's §6.2 multi-host extension:
+// "Increase system throughput by enforcing resource share across a
+// volunteer's hosts, rather than for each host separately. For example,
+// if a particular host is well-suited to a particular project, it could
+// run only that project, and the difference could be made up on other
+// hosts."
+//
+// A volunteer owns several hosts and assigns one global share per
+// project. The naive deployment gives every host the same shares; the
+// allocator here instead plans per-host shares: each (host, processor
+// type) capacity is distributed among the projects that can actually
+// use it, most-constrained resources first, in proportion to each
+// project's remaining global deficit. The plan is then evaluated by
+// emulating every host and aggregating delivered processing across the
+// fleet.
+package fleet
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"bce/internal/client"
+	"bce/internal/host"
+	"bce/internal/metrics"
+	"bce/internal/project"
+	"bce/internal/sched"
+	"bce/internal/stats"
+)
+
+// Fleet is a volunteer's set of hosts attached to a common set of
+// projects with global shares.
+type Fleet struct {
+	Hosts    []*host.Host
+	Projects []project.Spec // Share fields are the volunteer's global shares
+}
+
+// Validate reports structural problems.
+func (f *Fleet) Validate() error {
+	if len(f.Hosts) == 0 {
+		return fmt.Errorf("fleet: no hosts")
+	}
+	if len(f.Projects) == 0 {
+		return fmt.Errorf("fleet: no projects")
+	}
+	for i, h := range f.Hosts {
+		if err := h.Hardware.Validate(); err != nil {
+			return fmt.Errorf("fleet host %d: %w", i, err)
+		}
+	}
+	for _, p := range f.Projects {
+		if err := p.Validate(); err != nil {
+			return fmt.Errorf("fleet: %w", err)
+		}
+	}
+	return nil
+}
+
+// usable reports whether project p has an application that can use
+// processor type t on hardware hw.
+func usable(p *project.Spec, t host.ProcType, hw *host.Hardware) bool {
+	if hw.Proc[t].Count == 0 {
+		return false
+	}
+	for _, a := range p.Apps {
+		if a.Usage.Type() == t {
+			return true
+		}
+	}
+	return false
+}
+
+// Plan is a per-host share assignment: Shares[h][p] is the resource
+// share host h gives project p (0 = not attached).
+type Plan struct {
+	Shares [][]float64
+	// Alloc[h][p] is the planned peak FLOPS of host h's devices going
+	// to project p (the planner's internal model, for inspection).
+	Alloc [][]float64
+}
+
+// Uniform returns the naive plan: every host uses the global shares.
+func Uniform(f *Fleet) *Plan {
+	plan := &Plan{}
+	for range f.Hosts {
+		row := make([]float64, len(f.Projects))
+		for p, spec := range f.Projects {
+			row[p] = spec.Share
+		}
+		plan.Shares = append(plan.Shares, row)
+	}
+	return plan
+}
+
+// resource is one (host, type) capacity pool the planner distributes.
+type resource struct {
+	host     int
+	capacity float64 // peak FLOPS
+	eligible []int   // projects that can use it
+}
+
+// Optimize plans per-host shares so the fleet-wide split of delivered
+// peak FLOPS approaches the global shares. Most-constrained resources
+// (fewest eligible projects) are allocated first; each goes to the
+// eligible projects in proportion to their remaining global deficits.
+func Optimize(f *Fleet) (*Plan, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	// Build resource pools and the global targets.
+	var pools []resource
+	var totalCap float64
+	for h := range f.Hosts {
+		hw := &f.Hosts[h].Hardware
+		for t := host.ProcType(0); t < host.NumProcTypes; t++ {
+			cap := hw.PeakFLOPS(t)
+			if cap <= 0 {
+				continue
+			}
+			r := resource{host: h, capacity: cap}
+			for p := range f.Projects {
+				if usable(&f.Projects[p], t, hw) {
+					r.eligible = append(r.eligible, p)
+				}
+			}
+			totalCap += cap
+			if len(r.eligible) > 0 {
+				pools = append(pools, r)
+			}
+		}
+	}
+	var shareSum float64
+	for _, p := range f.Projects {
+		shareSum += p.Share
+	}
+	deficit := make([]float64, len(f.Projects))
+	for p, spec := range f.Projects {
+		deficit[p] = spec.Share / shareSum * totalCap
+	}
+
+	// Most-constrained first: fewest eligible projects, then smallest
+	// capacity; stable order for determinism.
+	sort.SliceStable(pools, func(i, j int) bool {
+		if len(pools[i].eligible) != len(pools[j].eligible) {
+			return len(pools[i].eligible) < len(pools[j].eligible)
+		}
+		if pools[i].capacity != pools[j].capacity {
+			return pools[i].capacity < pools[j].capacity
+		}
+		return pools[i].host < pools[j].host
+	})
+
+	alloc := make([][]float64, len(f.Hosts))
+	for h := range alloc {
+		alloc[h] = make([]float64, len(f.Projects))
+	}
+	for _, r := range pools {
+		// Distribute this pool in proportion to positive remaining
+		// deficits of its eligible projects; if none remain in deficit,
+		// fall back to global share proportions (the capacity must go
+		// somewhere — idle devices help nobody).
+		var defSum float64
+		for _, p := range r.eligible {
+			if deficit[p] > 0 {
+				defSum += deficit[p]
+			}
+		}
+		if defSum > 1e-9 {
+			for _, p := range r.eligible {
+				if deficit[p] <= 0 {
+					continue
+				}
+				a := r.capacity * deficit[p] / defSum
+				alloc[r.host][p] += a
+				deficit[p] -= a
+			}
+		} else {
+			var ss float64
+			for _, p := range r.eligible {
+				ss += f.Projects[p].Share
+			}
+			for _, p := range r.eligible {
+				alloc[r.host][p] += r.capacity * f.Projects[p].Share / ss
+			}
+		}
+	}
+
+	// Convert each host's planned FLOPS split into shares.
+	plan := &Plan{Alloc: alloc}
+	for h := range f.Hosts {
+		var hostTotal float64
+		for _, a := range alloc[h] {
+			hostTotal += a
+		}
+		row := make([]float64, len(f.Projects))
+		for p, a := range alloc[h] {
+			if hostTotal > 0 {
+				row[p] = 100 * a / hostTotal
+			}
+		}
+		plan.Shares = append(plan.Shares, row)
+	}
+	return plan, nil
+}
+
+// PlannedViolation returns the RMS share violation the plan's internal
+// allocation model predicts for the whole fleet.
+func (f *Fleet) PlannedViolation(plan *Plan) float64 {
+	if plan.Alloc == nil {
+		return math.NaN()
+	}
+	got := make([]float64, len(f.Projects))
+	var total float64
+	for h := range plan.Alloc {
+		for p, a := range plan.Alloc[h] {
+			got[p] += a
+			total += a
+		}
+	}
+	var shareSum float64
+	for _, p := range f.Projects {
+		shareSum += p.Share
+	}
+	var rms stats.RMS
+	for p, spec := range f.Projects {
+		rms.Add(spec.Share/shareSum - got[p]/total)
+	}
+	return rms.Value()
+}
+
+// Evaluation aggregates emulated results across the fleet.
+type Evaluation struct {
+	PerHost []metrics.Metrics
+	// GlobalUsed[p] is fleet-wide delivered peak-FLOPS-seconds.
+	GlobalUsed []float64
+	// GlobalViolation is the RMS gap between global shares and the
+	// fleet-wide delivered split.
+	GlobalViolation float64
+	// Throughput is total delivered peak-FLOPS-seconds.
+	Throughput float64
+}
+
+// Evaluate emulates every host under the plan's shares and aggregates.
+// Hosts not attached to a project (share 0) skip it entirely.
+func (f *Fleet) Evaluate(plan *Plan, duration float64, seed int64) (*Evaluation, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	ev := &Evaluation{GlobalUsed: make([]float64, len(f.Projects))}
+	for h := range f.Hosts {
+		// Build this host's project list: only attached projects.
+		var specs []project.Spec
+		idx := make([]int, 0, len(f.Projects))
+		for p, spec := range f.Projects {
+			if plan.Shares[h][p] > 1e-9 {
+				s := spec
+				s.Share = plan.Shares[h][p]
+				specs = append(specs, s)
+				idx = append(idx, p)
+			}
+		}
+		if len(specs) == 0 {
+			continue
+		}
+		cfg := client.Config{
+			Host:     f.Hosts[h],
+			Projects: specs,
+			JobSched: sched.JSGlobal, // aggregate accounting matches the plan's model
+			Duration: duration,
+			Seed:     seed + int64(h)*101,
+		}
+		c, err := client.New(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("fleet host %d: %w", h, err)
+		}
+		res, err := c.Run()
+		if err != nil {
+			return nil, err
+		}
+		ev.PerHost = append(ev.PerHost, res.Metrics)
+		for i, p := range idx {
+			ev.GlobalUsed[p] += res.Metrics.UsedByProject[i]
+			ev.Throughput += res.Metrics.UsedByProject[i]
+		}
+	}
+	var shareSum float64
+	for _, p := range f.Projects {
+		shareSum += p.Share
+	}
+	if ev.Throughput > 0 && shareSum > 0 {
+		var rms stats.RMS
+		for p, spec := range f.Projects {
+			rms.Add(spec.Share/shareSum - ev.GlobalUsed[p]/ev.Throughput)
+		}
+		ev.GlobalViolation = rms.Value()
+	}
+	return ev, nil
+}

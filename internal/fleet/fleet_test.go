@@ -1,0 +1,201 @@
+package fleet
+
+import (
+	"math"
+	"testing"
+
+	"bce/internal/host"
+	"bce/internal/job"
+	"bce/internal/project"
+)
+
+func cpuProject(name string, share float64) project.Spec {
+	return project.Spec{
+		Name: name, Share: share,
+		Apps: []project.AppSpec{{
+			Name: "cpu", Usage: job.Usage{AvgCPUs: 1},
+			MeanDuration: 1000, LatencyBound: 864000, CheckpointPeriod: 60,
+		}},
+	}
+}
+
+func gpuProject(name string, share float64) project.Spec {
+	return project.Spec{
+		Name: name, Share: share,
+		Apps: []project.AppSpec{{
+			Name: "gpu", Usage: job.Usage{AvgCPUs: 0.2, GPUType: host.NvidiaGPU, GPUUsage: 1},
+			MeanDuration: 500, LatencyBound: 864000, CheckpointPeriod: 60,
+		}},
+	}
+}
+
+func smallHost(ncpu int, cpuFlops float64, ngpu int, gpuFlops float64) *host.Host {
+	h := host.StdHost(ncpu, cpuFlops, ngpu, gpuFlops)
+	h.Prefs.MinQueue = 1200
+	h.Prefs.MaxQueue = 3600
+	return h
+}
+
+// The paper's §6.2 example: project A suits the GPU host (it has a GPU
+// app), project B is CPU-only. Per-host enforcement over-serves A via
+// the GPU; fleet-wide planning gives B the GPU host's CPUs and most of
+// the CPU host, recovering the global 50/50 split.
+func twoHostFleet() *Fleet {
+	a := project.Spec{
+		Name: "A", Share: 100,
+		Apps: []project.AppSpec{
+			cpuProject("x", 1).Apps[0],
+			gpuProject("y", 1).Apps[0],
+		},
+	}
+	return &Fleet{
+		Hosts: []*host.Host{
+			smallHost(4, 1e9, 1, 10e9), // 4 CPU + 10 GF GPU (14 GF)
+			smallHost(8, 1e9, 0, 0),    // CPU machine (8 GF)
+		},
+		Projects: []project.Spec{a, cpuProject("B", 100)},
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if (&Fleet{}).Validate() == nil {
+		t.Fatal("empty fleet accepted")
+	}
+	if (&Fleet{Hosts: []*host.Host{smallHost(1, 1e9, 0, 0)}}).Validate() == nil {
+		t.Fatal("fleet without projects accepted")
+	}
+	if err := twoHostFleet().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUniformPlan(t *testing.T) {
+	f := twoHostFleet()
+	plan := Uniform(f)
+	if len(plan.Shares) != 2 {
+		t.Fatal("plan rows")
+	}
+	for h := range plan.Shares {
+		if plan.Shares[h][0] != 100 || plan.Shares[h][1] != 100 {
+			t.Fatalf("uniform shares wrong: %v", plan.Shares[h])
+		}
+	}
+}
+
+func TestOptimizeSpecialises(t *testing.T) {
+	f := twoHostFleet()
+	plan, err := Optimize(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The GPU pool (10 GF) goes entirely to project A, its only user.
+	if plan.Alloc[0][0] < 10e9-1 {
+		t.Fatalf("GPU capacity allocated to A = %v, want >= 10e9", plan.Alloc[0][0])
+	}
+	// Project B gets the lion's share of both hosts' CPUs.
+	cpuToB := plan.Alloc[0][1] + plan.Alloc[1][1]
+	if cpuToB < 10e9 {
+		t.Fatalf("CPU capacity to B = %v, want ~11e9", cpuToB)
+	}
+	// Targets are 11/11 out of 22 GF and both are reachable: the
+	// planner should predict essentially zero violation.
+	if v := f.PlannedViolation(plan); v > 0.01 {
+		t.Fatalf("planned violation %v, want ~0", v)
+	}
+}
+
+func TestOptimizeAllEligibleFallback(t *testing.T) {
+	// Single CPU host, two CPU projects with 3:1 shares: allocation
+	// should split the one pool 3:1.
+	f := &Fleet{
+		Hosts:    []*host.Host{smallHost(4, 1e9, 0, 0)},
+		Projects: []project.Spec{cpuProject("a", 300), cpuProject("b", 100)},
+	}
+	plan, err := Optimize(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := plan.Alloc[0][0] / plan.Alloc[0][1]
+	if math.Abs(ratio-3) > 1e-6 {
+		t.Fatalf("allocation ratio %v, want 3", ratio)
+	}
+	if math.Abs(plan.Shares[0][0]-75) > 1e-6 || math.Abs(plan.Shares[0][1]-25) > 1e-6 {
+		t.Fatalf("shares %v, want 75/25", plan.Shares[0])
+	}
+}
+
+func TestOptimizeFigure1Geometry(t *testing.T) {
+	// The paper's Figure 1 situation as a one-host "fleet": 10 GF CPU +
+	// 20 GF GPU; A uses both, B only the GPU; equal shares. The planner
+	// should give A the whole CPU and a quarter of the GPU.
+	f := &Fleet{
+		Hosts: []*host.Host{smallHost(1, 10e9, 1, 20e9)},
+		Projects: []project.Spec{
+			{Name: "A", Share: 100, Apps: []project.AppSpec{
+				cpuProject("x", 1).Apps[0], gpuProject("y", 1).Apps[0],
+			}},
+			gpuProject("B", 100),
+		},
+	}
+	plan, err := Optimize(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A: 10 (CPU) + 5 (GPU) = 15; B: 15 (GPU).
+	if math.Abs(plan.Alloc[0][0]-15e9) > 1e-3 || math.Abs(plan.Alloc[0][1]-15e9) > 1e-3 {
+		t.Fatalf("alloc = %v, want 15/15 GF", plan.Alloc[0])
+	}
+}
+
+func TestEvaluateOptimizedBeatsUniform(t *testing.T) {
+	if testing.Short() {
+		t.Skip("emulation-heavy")
+	}
+	f := twoHostFleet()
+	uniform, err := f.Evaluate(Uniform(f), 2*86400, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Optimize(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optimized, err := f.Evaluate(plan, 2*86400, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if optimized.GlobalViolation >= uniform.GlobalViolation {
+		t.Fatalf("optimized violation %v >= uniform %v",
+			optimized.GlobalViolation, uniform.GlobalViolation)
+	}
+	// Throughput must not collapse (within 10%).
+	if optimized.Throughput < 0.9*uniform.Throughput {
+		t.Fatalf("optimized throughput %v << uniform %v",
+			optimized.Throughput, uniform.Throughput)
+	}
+}
+
+func TestEvaluateSkipsUnattachedProjects(t *testing.T) {
+	if testing.Short() {
+		t.Skip("emulation-heavy")
+	}
+	f := twoHostFleet()
+	plan, _ := Optimize(f)
+	ev, err := f.Evaluate(plan, 86400, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ev.PerHost) != 2 {
+		t.Fatalf("per-host results = %d, want 2", len(ev.PerHost))
+	}
+	if ev.GlobalUsed[0] == 0 || ev.GlobalUsed[1] == 0 {
+		t.Fatalf("a project got nothing: %v", ev.GlobalUsed)
+	}
+}
+
+func TestPlannedViolationUniformNaN(t *testing.T) {
+	f := twoHostFleet()
+	if !math.IsNaN(f.PlannedViolation(Uniform(f))) {
+		t.Fatal("uniform plan has no internal model; want NaN")
+	}
+}

@@ -1,0 +1,275 @@
+// Package harness is the emulator's controller (paper §4.3): it runs
+// the emulator repeatedly — across policy variants, across seeds, and
+// across parameter sweeps — and aggregates the figures of merit into
+// tables, CSV, and quick ASCII charts.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"bce/internal/client"
+	"bce/internal/metrics"
+	"bce/internal/stats"
+)
+
+// Variant is one policy configuration under test; Make builds a fresh
+// config for the given seed (configs hold live *host.Host pointers, so
+// each run needs its own).
+type Variant struct {
+	Label string
+	Make  func(seed int64) client.Config
+}
+
+// Agg aggregates the metrics of replicated runs.
+type Agg struct {
+	N      int
+	Mean   [5]float64 // figures of merit, paper order
+	CI95   [5]float64
+	Raw    []metrics.Metrics
+	Events uint64
+}
+
+// Metric returns the aggregated value of the i-th figure of merit.
+func (a Agg) Metric(i int) float64 { return a.Mean[i] }
+
+// MetricByName returns the aggregated value for a metric name from
+// metrics.Names.
+func (a Agg) MetricByName(name string) float64 {
+	for i, n := range metrics.Names() {
+		if n == name {
+			return a.Mean[i]
+		}
+	}
+	return math.NaN()
+}
+
+// Run executes one config and returns its result.
+func Run(cfg client.Config) (*client.Result, error) {
+	c, err := client.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return c.Run()
+}
+
+// Replicate runs the variant once per seed and aggregates.
+func Replicate(v Variant, seeds []int64) (Agg, error) {
+	var agg Agg
+	accs := make([]stats.Mean, 5)
+	for _, seed := range seeds {
+		res, err := Run(v.Make(seed))
+		if err != nil {
+			return agg, fmt.Errorf("%s (seed %d): %w", v.Label, seed, err)
+		}
+		agg.Raw = append(agg.Raw, res.Metrics)
+		agg.Events += res.Events
+		for i, x := range res.Metrics.Values() {
+			accs[i].Add(x)
+		}
+	}
+	agg.N = len(seeds)
+	for i := range accs {
+		agg.Mean[i] = accs[i].Mean()
+		agg.CI95[i] = accs[i].CI95()
+	}
+	return agg, nil
+}
+
+// Seeds returns n deterministic seeds.
+func Seeds(n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(1000 + 37*i)
+	}
+	return out
+}
+
+// Comparison holds the aggregated metrics of several variants.
+type Comparison struct {
+	Variants []string
+	Aggs     map[string]Agg
+}
+
+// Compare replicates every variant over the same seeds.
+func Compare(vs []Variant, seeds []int64) (*Comparison, error) {
+	c := &Comparison{Aggs: make(map[string]Agg)}
+	for _, v := range vs {
+		agg, err := Replicate(v, seeds)
+		if err != nil {
+			return nil, err
+		}
+		c.Variants = append(c.Variants, v.Label)
+		c.Aggs[v.Label] = agg
+	}
+	return c, nil
+}
+
+// Table renders the comparison as an aligned text table, one row per
+// variant, one column per figure of merit.
+func (c *Comparison) Table() string {
+	var b strings.Builder
+	names := metrics.Names()
+	fmt.Fprintf(&b, "%-16s", "policy")
+	for _, n := range names {
+		fmt.Fprintf(&b, " %15s", n)
+	}
+	b.WriteByte('\n')
+	for _, label := range c.Variants {
+		agg := c.Aggs[label]
+		fmt.Fprintf(&b, "%-16s", label)
+		for i := range names {
+			fmt.Fprintf(&b, " %15s", fmt.Sprintf("%.4f±%.3f", agg.Mean[i], agg.CI95[i]))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// SweepPoint is one x-value of a parameter sweep with per-variant
+// aggregates.
+type SweepPoint struct {
+	X    float64
+	Aggs map[string]Agg
+}
+
+// SweepResult is a full parameter sweep.
+type SweepResult struct {
+	Param    string
+	Variants []string
+	Points   []SweepPoint
+}
+
+// Sweep runs every variant at every parameter value. The variant's Make
+// receives the seed; mk wraps a parameterised variant constructor.
+func Sweep(param string, xs []float64, mk func(x float64) []Variant, seeds []int64) (*SweepResult, error) {
+	res := &SweepResult{Param: param}
+	for _, x := range xs {
+		vs := mk(x)
+		if res.Variants == nil {
+			for _, v := range vs {
+				res.Variants = append(res.Variants, v.Label)
+			}
+		}
+		pt := SweepPoint{X: x, Aggs: make(map[string]Agg)}
+		for _, v := range vs {
+			agg, err := Replicate(v, seeds)
+			if err != nil {
+				return nil, fmt.Errorf("%s=%v: %w", param, x, err)
+			}
+			pt.Aggs[v.Label] = agg
+		}
+		res.Points = append(res.Points, pt)
+	}
+	return res, nil
+}
+
+// Series extracts one metric's series for one variant.
+func (s *SweepResult) Series(variant, metric string) (xs, ys []float64) {
+	for _, pt := range s.Points {
+		xs = append(xs, pt.X)
+		ys = append(ys, pt.Aggs[variant].MetricByName(metric))
+	}
+	return xs, ys
+}
+
+// Table renders the sweep for one metric: rows are x values, columns
+// variants.
+func (s *SweepResult) Table(metric string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s", s.Param)
+	for _, v := range s.Variants {
+		fmt.Fprintf(&b, " %14s", v)
+	}
+	fmt.Fprintf(&b, "   (%s)\n", metric)
+	for _, pt := range s.Points {
+		fmt.Fprintf(&b, "%-12.4g", pt.X)
+		for _, v := range s.Variants {
+			fmt.Fprintf(&b, " %14.4f", pt.Aggs[v].MetricByName(metric))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CSV writes the sweep for all metrics in long form:
+// param,variant,metric,value.
+func (s *SweepResult) CSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%s,variant,metric,value\n", s.Param); err != nil {
+		return err
+	}
+	names := metrics.Names()
+	for _, pt := range s.Points {
+		for _, v := range s.Variants {
+			agg := pt.Aggs[v]
+			for i, n := range names {
+				if _, err := fmt.Fprintf(w, "%g,%s,%s,%g\n", pt.X, v, n, agg.Mean[i]); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Chart renders one metric of a sweep as a crude ASCII line chart, one
+// glyph per variant, good enough to eyeball the paper's figures in a
+// terminal.
+func (s *SweepResult) Chart(metric string, width, height int) string {
+	if len(s.Points) == 0 || width < 8 || height < 3 {
+		return "(no data)\n"
+	}
+	glyphs := []byte{'*', 'o', '+', 'x', '#', '@'}
+	minX, maxX := s.Points[0].X, s.Points[len(s.Points)-1].X
+	var maxY float64
+	for _, pt := range s.Points {
+		for _, v := range s.Variants {
+			if y := pt.Aggs[v].MetricByName(metric); y > maxY {
+				maxY = y
+			}
+		}
+	}
+	if maxY <= 0 {
+		maxY = 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for vi, v := range s.Variants {
+		g := glyphs[vi%len(glyphs)]
+		for _, pt := range s.Points {
+			var col int
+			if maxX > minX {
+				col = int(float64(width-1) * (pt.X - minX) / (maxX - minX))
+			}
+			y := pt.Aggs[v].MetricByName(metric)
+			row := height - 1 - int(float64(height-1)*y/maxY)
+			if row >= 0 && row < height && col >= 0 && col < width {
+				grid[row][col] = g
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s vs %s (ymax=%.3f)\n", metric, s.Param, maxY)
+	for _, row := range grid {
+		b.WriteByte('|')
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	b.WriteByte('+')
+	b.WriteString(strings.Repeat("-", width))
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, " x: %.4g .. %.4g   ", minX, maxX)
+	var legend []string
+	for vi, v := range s.Variants {
+		legend = append(legend, fmt.Sprintf("%c=%s", glyphs[vi%len(glyphs)], v))
+	}
+	sort.Strings(legend)
+	b.WriteString(strings.Join(legend, "  "))
+	b.WriteByte('\n')
+	return b.String()
+}

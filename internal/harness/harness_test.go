@@ -1,0 +1,170 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"bce/internal/client"
+	"bce/internal/fetch"
+	"bce/internal/host"
+	"bce/internal/job"
+	"bce/internal/project"
+	"bce/internal/sched"
+)
+
+func tinyConfig(seed int64) client.Config {
+	h := host.StdHost(1, 1e9, 0, 0)
+	h.Prefs.MinQueue = 600
+	h.Prefs.MaxQueue = 1800
+	return client.Config{
+		Host: h,
+		Projects: []project.Spec{{
+			Name: "p", Share: 1,
+			Apps: []project.AppSpec{{
+				Name:             "a",
+				Usage:            job.Usage{AvgCPUs: 1},
+				MeanDuration:     500,
+				LatencyBound:     86400,
+				CheckpointPeriod: 60,
+			}},
+		}},
+		JobSched: sched.JSLocal,
+		JobFetch: fetch.JFHysteresis,
+		Duration: 6 * 3600,
+		Seed:     seed,
+	}
+}
+
+func tinyVariant(label string) Variant {
+	return Variant{Label: label, Make: tinyConfig}
+}
+
+func TestRun(t *testing.T) {
+	res, err := Run(tinyConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.CompletedJobs == 0 {
+		t.Fatal("no jobs completed")
+	}
+}
+
+func TestRunInvalid(t *testing.T) {
+	if _, err := Run(client.Config{}); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestReplicateAggregates(t *testing.T) {
+	agg, err := Replicate(tinyVariant("x"), Seeds(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.N != 3 || len(agg.Raw) != 3 {
+		t.Fatalf("agg.N = %d, want 3", agg.N)
+	}
+	for i, v := range agg.Mean {
+		if v < 0 || v > 1 {
+			t.Fatalf("mean metric %d = %v out of range", i, v)
+		}
+	}
+	if agg.MetricByName("idle") != agg.Mean[0] {
+		t.Fatal("MetricByName(idle) mismatch")
+	}
+	if v := agg.MetricByName("nope"); v == v { // NaN check
+		t.Fatalf("unknown metric should be NaN, got %v", v)
+	}
+}
+
+func TestSeedsDeterministic(t *testing.T) {
+	a, b := Seeds(5), Seeds(5)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Seeds not deterministic")
+		}
+	}
+	if len(Seeds(0)) != 0 {
+		t.Fatal("Seeds(0) should be empty")
+	}
+}
+
+func TestCompareAndTable(t *testing.T) {
+	cmp, err := Compare([]Variant{tinyVariant("A"), tinyVariant("B")}, Seeds(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmp.Variants) != 2 {
+		t.Fatalf("variants = %v", cmp.Variants)
+	}
+	table := cmp.Table()
+	for _, want := range []string{"policy", "idle", "A", "B"} {
+		if !strings.Contains(table, want) {
+			t.Fatalf("table missing %q:\n%s", want, table)
+		}
+	}
+	// Same config, same seeds: identical aggregates.
+	if cmp.Aggs["A"].Mean != cmp.Aggs["B"].Mean {
+		t.Fatal("identical variants diverged")
+	}
+}
+
+func TestSweep(t *testing.T) {
+	mk := func(x float64) []Variant {
+		return []Variant{{Label: "only", Make: func(seed int64) client.Config {
+			cfg := tinyConfig(seed)
+			cfg.Projects[0].Apps[0].MeanDuration = x
+			return cfg
+		}}}
+	}
+	sw, err := Sweep("duration", []float64{200, 400}, mk, Seeds(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sw.Points) != 2 || sw.Points[0].X != 200 {
+		t.Fatalf("sweep points wrong: %+v", sw.Points)
+	}
+	xs, ys := sw.Series("only", "idle")
+	if len(xs) != 2 || len(ys) != 2 {
+		t.Fatal("series extraction wrong")
+	}
+	table := sw.Table("idle")
+	if !strings.Contains(table, "duration") || !strings.Contains(table, "only") {
+		t.Fatalf("sweep table malformed:\n%s", table)
+	}
+}
+
+func TestSweepCSV(t *testing.T) {
+	mk := func(x float64) []Variant { return []Variant{tinyVariant("v")} }
+	sw, err := Sweep("p", []float64{1}, mk, Seeds(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sw.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	// Header + 5 metrics.
+	if len(lines) != 6 {
+		t.Fatalf("CSV lines = %d, want 6:\n%s", len(lines), buf.String())
+	}
+	if lines[0] != "p,variant,metric,value" {
+		t.Fatalf("CSV header = %q", lines[0])
+	}
+}
+
+func TestChart(t *testing.T) {
+	mk := func(x float64) []Variant { return []Variant{tinyVariant("v")} }
+	sw, err := Sweep("p", []float64{1, 2, 3}, mk, Seeds(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	chart := sw.Chart("idle", 40, 10)
+	if !strings.Contains(chart, "idle vs p") || !strings.Contains(chart, "*=v") {
+		t.Fatalf("chart malformed:\n%s", chart)
+	}
+	if empty := (&SweepResult{}).Chart("idle", 40, 10); !strings.Contains(empty, "no data") {
+		t.Fatal("empty chart should say no data")
+	}
+}

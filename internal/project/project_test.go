@@ -1,0 +1,283 @@
+package project
+
+import (
+	"testing"
+
+	"bce/internal/host"
+	"bce/internal/job"
+	"bce/internal/stats"
+)
+
+func cpuApp(mean float64) AppSpec {
+	return AppSpec{
+		Name:             "cpu",
+		Usage:            job.Usage{AvgCPUs: 1},
+		MeanDuration:     mean,
+		LatencyBound:     mean * 2,
+		CheckpointPeriod: 60,
+	}
+}
+
+func gpuApp(mean float64) AppSpec {
+	return AppSpec{
+		Name:             "gpu",
+		Usage:            job.Usage{AvgCPUs: 0.2, GPUType: host.NvidiaGPU, GPUUsage: 1},
+		MeanDuration:     mean,
+		LatencyBound:     mean * 2,
+		CheckpointPeriod: 60,
+	}
+}
+
+func newTestServer(t *testing.T, spec Spec) *Server {
+	t.Helper()
+	s, err := NewServer(spec, 0, stats.NewRNG(1))
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	return s
+}
+
+func TestSpecValidate(t *testing.T) {
+	bad := []Spec{
+		{Name: "p", Share: 0, Apps: []AppSpec{cpuApp(100)}},
+		{Name: "p", Share: 1},
+		{Name: "p", Share: 1, Apps: []AppSpec{{Name: "x"}}},
+		{Name: "p", Share: 1, Apps: []AppSpec{{
+			Name: "x", Usage: job.Usage{AvgCPUs: 1}, MeanDuration: 10, StdevDuration: -1, LatencyBound: 10}}},
+		{Name: "p", Share: 1, Apps: []AppSpec{{
+			Name: "x", Usage: job.Usage{AvgCPUs: 1}, MeanDuration: 10, LatencyBound: 0}}},
+	}
+	for i, s := range bad {
+		if s.Validate() == nil {
+			t.Fatalf("case %d: Validate accepted invalid spec", i)
+		}
+	}
+}
+
+func TestDeadlineCheckString(t *testing.T) {
+	if NoCheck.String() != "none" || SimpleCheck.String() != "simple" || AvailCheck.String() != "availability" {
+		t.Fatal("unexpected policy names")
+	}
+}
+
+func TestSuppliesType(t *testing.T) {
+	s := newTestServer(t, Spec{Name: "p", Share: 1, Apps: []AppSpec{cpuApp(100), gpuApp(100)}})
+	if !s.SuppliesType(host.CPU) || !s.SuppliesType(host.NvidiaGPU) || s.SuppliesType(host.AtiGPU) {
+		t.Fatal("SuppliesType classification wrong")
+	}
+}
+
+func TestDispatchFillsRequest(t *testing.T) {
+	s := newTestServer(t, Spec{Name: "p", Share: 1, Apps: []AppSpec{cpuApp(1000)}})
+	tasks := s.Dispatch(0, []Request{{Type: host.CPU, Instances: 2, Seconds: 5000}}, HostInfo{OnFrac: 1})
+	if len(tasks) == 0 {
+		t.Fatal("no tasks dispatched")
+	}
+	var secs float64
+	for _, tk := range tasks {
+		if err := tk.Validate(); err != nil {
+			t.Fatalf("dispatched invalid task: %v", err)
+		}
+		if tk.Deadline != tk.ReceivedAt+2000 {
+			t.Fatalf("deadline %v, want receipt+latency bound", tk.Deadline)
+		}
+		secs += tk.EstDuration * tk.Usage.Instances()
+	}
+	if secs < 5000 {
+		t.Fatalf("dispatched %v instance-seconds, want >= 5000", secs)
+	}
+	if s.Dispatched != len(tasks) {
+		t.Fatalf("Dispatched = %d, want %d", s.Dispatched, len(tasks))
+	}
+}
+
+func TestDispatchHonoursJobCap(t *testing.T) {
+	s := newTestServer(t, Spec{Name: "p", Share: 1, MaxJobsPerRPC: 3, Apps: []AppSpec{cpuApp(10)}})
+	tasks := s.Dispatch(0, []Request{{Type: host.CPU, Seconds: 1e6}}, HostInfo{})
+	if len(tasks) != 3 {
+		t.Fatalf("got %d tasks, want cap of 3", len(tasks))
+	}
+}
+
+func TestDispatchEmptyRequest(t *testing.T) {
+	s := newTestServer(t, Spec{Name: "p", Share: 1, Apps: []AppSpec{cpuApp(100)}})
+	if tasks := s.Dispatch(0, []Request{{Type: host.CPU}}, HostInfo{}); len(tasks) != 0 {
+		t.Fatalf("empty request got %d tasks", len(tasks))
+	}
+	if tasks := s.Dispatch(0, nil, HostInfo{}); len(tasks) != 0 {
+		t.Fatal("nil request got tasks")
+	}
+}
+
+func TestDispatchWrongType(t *testing.T) {
+	s := newTestServer(t, Spec{Name: "p", Share: 1, Apps: []AppSpec{cpuApp(100)}})
+	tasks := s.Dispatch(0, []Request{{Type: host.NvidiaGPU, Seconds: 1000}}, HostInfo{})
+	if len(tasks) != 0 {
+		t.Fatal("project without GPU apps dispatched GPU jobs")
+	}
+}
+
+func TestRuntimesVaryButEstimatesDont(t *testing.T) {
+	app := cpuApp(1000)
+	app.StdevDuration = 200
+	s := newTestServer(t, Spec{Name: "p", Share: 1, Apps: []AppSpec{app}})
+	tasks := s.Dispatch(0, []Request{{Type: host.CPU, Seconds: 20000}}, HostInfo{})
+	varied := false
+	for _, tk := range tasks {
+		if tk.EstDuration != 1000 {
+			t.Fatalf("estimate %v, want mean 1000", tk.EstDuration)
+		}
+		if tk.Duration != 1000 {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Fatal("true runtimes show no variation despite stdev")
+	}
+}
+
+func TestEstimateErrorInjection(t *testing.T) {
+	app := cpuApp(1000)
+	app.EstErrBias = 2
+	s := newTestServer(t, Spec{Name: "p", Share: 1, Apps: []AppSpec{app}})
+	tasks := s.Dispatch(0, []Request{{Type: host.CPU, Seconds: 10000}}, HostInfo{})
+	for _, tk := range tasks {
+		if tk.EstDuration != 2000 {
+			t.Fatalf("biased estimate %v, want 2000", tk.EstDuration)
+		}
+	}
+	app.EstErrSigma = 0.5
+	s2 := newTestServer(t, Spec{Name: "p2", Share: 1, Apps: []AppSpec{app}})
+	tasks2 := s2.Dispatch(0, []Request{{Type: host.CPU, Seconds: 10000}}, HostInfo{})
+	allSame := true
+	for _, tk := range tasks2 {
+		if tk.EstDuration != 2000 {
+			allSame = false
+		}
+	}
+	if allSame && len(tasks2) > 1 {
+		t.Fatal("lognormal estimate error produced identical estimates")
+	}
+}
+
+func TestSimpleDeadlineCheckRefuses(t *testing.T) {
+	app := cpuApp(1000)
+	app.LatencyBound = 500 // estimate 1000 can never fit
+	s := newTestServer(t, Spec{Name: "p", Share: 1, Check: SimpleCheck, Apps: []AppSpec{app}})
+	tasks := s.Dispatch(0, []Request{{Type: host.CPU, Seconds: 5000}}, HostInfo{OnFrac: 1})
+	if len(tasks) != 0 {
+		t.Fatal("SimpleCheck dispatched an infeasible job")
+	}
+	if s.Refused == 0 {
+		t.Fatal("refusal not counted")
+	}
+}
+
+func TestAvailCheckUsesOnFrac(t *testing.T) {
+	app := cpuApp(1000)
+	app.LatencyBound = 1500
+	s := newTestServer(t, Spec{Name: "p", Share: 1, Check: AvailCheck, Apps: []AppSpec{app}})
+	// With full availability 1000 <= 1500: feasible.
+	if got := s.Dispatch(0, []Request{{Type: host.CPU, Seconds: 1000}}, HostInfo{OnFrac: 1}); len(got) == 0 {
+		t.Fatal("AvailCheck refused a feasible job at full availability")
+	}
+	// At 50% availability effective runtime 2000 > 1500: refused.
+	if got := s.Dispatch(0, []Request{{Type: host.CPU, Seconds: 1000}}, HostInfo{OnFrac: 0.5}); len(got) != 0 {
+		t.Fatal("AvailCheck dispatched an infeasible job at half availability")
+	}
+}
+
+func TestDowntimeBlocksDispatch(t *testing.T) {
+	spec := Spec{
+		Name: "p", Share: 1, Apps: []AppSpec{cpuApp(100)},
+		Downtime: host.AvailSpec{MeanOn: 1000, MeanOff: 1000},
+	}
+	s := newTestServer(t, spec)
+	sawDown, sawUp := false, false
+	for now := 0.0; now < 1e5; now += 100 {
+		up := s.Reachable(now)
+		if up {
+			sawUp = true
+		} else {
+			sawDown = true
+			if got := s.Dispatch(now, []Request{{Type: host.CPU, Seconds: 100}}, HostInfo{}); len(got) != 0 {
+				t.Fatal("down project dispatched jobs")
+			}
+		}
+	}
+	if !sawDown || !sawUp {
+		t.Fatalf("downtime process never alternated (down=%v up=%v)", sawDown, sawUp)
+	}
+}
+
+func TestWorkGapsBlockDispatch(t *testing.T) {
+	spec := Spec{
+		Name: "p", Share: 1, Apps: []AppSpec{cpuApp(100)},
+		WorkGaps: host.AvailSpec{MeanOn: 1000, MeanOff: 1000},
+	}
+	s := newTestServer(t, spec)
+	sawGap := false
+	for now := 0.0; now < 1e5; now += 100 {
+		if !s.HasWork(now, host.CPU) {
+			sawGap = true
+			if got := s.Dispatch(now, []Request{{Type: host.CPU, Seconds: 100}}, HostInfo{}); len(got) != 0 {
+				t.Fatal("project without work dispatched jobs")
+			}
+		}
+	}
+	if !sawGap {
+		t.Fatal("work-gap process never went dry")
+	}
+}
+
+func TestWeightedAppSelection(t *testing.T) {
+	a, b := cpuApp(100), cpuApp(100)
+	a.Name, b.Name = "heavy", "light"
+	a.Weight, b.Weight = 9, 1
+	s := newTestServer(t, Spec{Name: "p", Share: 1, MaxJobsPerRPC: 1 << 20, Apps: []AppSpec{a, b}})
+	tasks := s.Dispatch(0, []Request{{Type: host.CPU, Seconds: 2e5}}, HostInfo{})
+	heavy := 0
+	for _, tk := range tasks {
+		if tk.Usage.AvgCPUs != 1 {
+			t.Fatal("wrong usage")
+		}
+		if len(tk.Name) > 0 && containsName(tk.Name, "heavy") {
+			heavy++
+		}
+	}
+	frac := float64(heavy) / float64(len(tasks))
+	if frac < 0.75 || frac > 1.0 {
+		t.Fatalf("heavy app fraction %v, want ~0.9", frac)
+	}
+}
+
+func containsName(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestUniqueJobNames(t *testing.T) {
+	s := newTestServer(t, Spec{Name: "p", Share: 1, Apps: []AppSpec{cpuApp(10)}})
+	seen := map[string]bool{}
+	for i := 0; i < 5; i++ {
+		for _, tk := range s.Dispatch(float64(i), []Request{{Type: host.CPU, Seconds: 100}}, HostInfo{}) {
+			if seen[tk.Name] {
+				t.Fatalf("duplicate job name %q", tk.Name)
+			}
+			seen[tk.Name] = true
+		}
+	}
+}
+
+func TestEstimatedQueueSeconds(t *testing.T) {
+	got := EstimatedQueueSeconds([]Request{
+		{Seconds: 100}, {Seconds: -50}, {Seconds: 200},
+	})
+	if got != 300 {
+		t.Fatalf("EstimatedQueueSeconds = %v, want 300", got)
+	}
+}

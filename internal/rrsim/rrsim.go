@@ -1,0 +1,344 @@
+// Package rrsim implements the BOINC client's round-robin simulation
+// (paper §3.2): a continuous approximation of weighted round-robin
+// execution of the current workload, used to predict which jobs will
+// miss their deadlines (deadline-endangered), how long each processor
+// type stays saturated (SAT), and how many idle instance-seconds fall
+// within the work-buffer horizon (SHORTFALL).
+//
+// Instead of modelling individual timeslices, each project's jobs drain
+// continuously at the rate of the project's share of each processor
+// type, with unused allocation redistributed so devices stay saturated
+// whenever demand exists.
+package rrsim
+
+import (
+	"math"
+
+	"bce/internal/host"
+	"bce/internal/job"
+)
+
+// Job is one simulated queue entry. EstRemaining and deadlines come from
+// the client's estimates; results are written back into the struct.
+type Job struct {
+	Task *job.Task // identity only; not mutated
+
+	// Inputs (captured from the task by NewJob).
+	Project   int
+	Type      host.ProcType
+	Instances float64 // instances of Type occupied
+	Remaining float64 // estimated execution seconds left
+	Deadline  float64
+
+	// Outputs.
+	ProjectedFinish float64 // absolute time; +Inf if it never finishes
+	Endangered      bool    // projected to miss its deadline
+}
+
+// NewJob captures the simulation view of a client task.
+func NewJob(t *job.Task) *Job {
+	return &Job{
+		Task:      t,
+		Project:   t.Project,
+		Type:      t.Usage.Type(),
+		Instances: t.Usage.Instances(),
+		Remaining: t.EstRemaining(),
+		Deadline:  t.Deadline,
+	}
+}
+
+// Input parameterises one simulation run.
+type Input struct {
+	Now      float64
+	Hardware *host.Hardware
+	Shares   []float64 // resource share per project index
+
+	// OnFrac discounts execution rates by the host's long-run
+	// availability per processor type (1 = always available).
+	OnFrac [host.NumProcTypes]float64
+
+	// HorizonMin and HorizonMax are the work-buffer windows (seconds
+	// from Now) over which shortfall is integrated; they correspond to
+	// the min_queue and max_queue preferences.
+	HorizonMin float64
+	HorizonMax float64
+
+	// DeadlineMargin is subtracted from deadlines when classifying
+	// endangered jobs (a safety margin; 0 reproduces the bare policy).
+	DeadlineMargin float64
+
+	// Trace, when true, records the busy-instances step function for
+	// timeline visualization (paper Figure 2).
+	Trace bool
+
+	Jobs []*Job
+}
+
+// TraceStep is one segment of the busy-instances step function.
+type TraceStep struct {
+	Start, End float64
+	Busy       [host.NumProcTypes]float64
+}
+
+// Result is the simulation outcome.
+type Result struct {
+	// ShortfallMin/ShortfallMax are idle instance-seconds within the
+	// min/max horizons, per processor type.
+	ShortfallMin [host.NumProcTypes]float64
+	ShortfallMax [host.NumProcTypes]float64
+
+	// Saturated is SAT(T): how long all instances of T stay busy.
+	Saturated [host.NumProcTypes]float64
+
+	// IdleNow is the number of instances of T idle at Now.
+	IdleNow [host.NumProcTypes]float64
+
+	// NumEndangered counts deadline-endangered jobs.
+	NumEndangered int
+
+	Trace []TraceStep
+}
+
+const maxSteps = 100000
+
+// allocate distributes `total` capacity among demands in proportion to
+// weights, capping each at its demand and redistributing the excess
+// (progressive filling). The returned slice satisfies alloc[i] <=
+// demand[i], sum(alloc) <= total, and sum(alloc) == min(total,
+// sum(demand)) up to round-off.
+func allocate(demand, weight []float64, total float64) []float64 {
+	n := len(demand)
+	alloc := make([]float64, n)
+	if total <= 0 {
+		return alloc
+	}
+	active := make([]bool, n)
+	nActive := 0
+	for i := range demand {
+		if demand[i] > 0 && weight[i] > 0 {
+			active[i] = true
+			nActive++
+		}
+	}
+	remaining := total
+	for iter := 0; iter < n+1 && nActive > 0 && remaining > 1e-12; iter++ {
+		var wsum float64
+		for i := range demand {
+			if active[i] {
+				wsum += weight[i]
+			}
+		}
+		if wsum <= 0 {
+			break
+		}
+		capped := false
+		for i := range demand {
+			if !active[i] {
+				continue
+			}
+			fair := remaining * weight[i] / wsum
+			if alloc[i]+fair >= demand[i]-1e-12 {
+				// This entry saturates; grant its demand and
+				// redistribute the rest next round.
+				remaining -= demand[i] - alloc[i]
+				alloc[i] = demand[i]
+				active[i] = false
+				nActive--
+				capped = true
+			}
+		}
+		if !capped {
+			for i := range demand {
+				if active[i] {
+					alloc[i] += remaining * weight[i] / wsum
+				}
+			}
+			remaining = 0
+		}
+	}
+	return alloc
+}
+
+// Run executes the round-robin simulation.
+func Run(in Input) *Result {
+	res := &Result{}
+	for t := host.ProcType(0); t < host.NumProcTypes; t++ {
+		if in.OnFrac[t] == 0 {
+			in.OnFrac[t] = 1
+		}
+	}
+	if in.HorizonMax < in.HorizonMin {
+		in.HorizonMax = in.HorizonMin
+	}
+
+	nproj := len(in.Shares)
+	// Remaining work per job in instance-seconds.
+	rem := make([]float64, len(in.Jobs))
+	unfinished := 0
+	for i, j := range in.Jobs {
+		rem[i] = j.Remaining * j.Instances
+		if rem[i] > 0 {
+			unfinished++
+		} else {
+			j.ProjectedFinish = in.Now
+			j.Endangered = in.Now > j.Deadline-in.DeadlineMargin
+			if j.Endangered {
+				res.NumEndangered++
+			}
+		}
+	}
+
+	satOpen := [host.NumProcTypes]bool{}
+	firstStep := true
+	elapsed := 0.0 // sim time since Now
+
+	demand := make([]float64, nproj)
+	rates := make([]float64, len(in.Jobs))
+
+	for step := 0; step < maxSteps; step++ {
+		// Compute per-project demand and allocation for each type, then
+		// per-job drain rates.
+		var busy [host.NumProcTypes]float64
+		for i := range rates {
+			rates[i] = 0
+		}
+		anyRate := false
+		for t := host.ProcType(0); t < host.NumProcTypes; t++ {
+			n := float64(in.Hardware.Proc[t].Count)
+			if n == 0 {
+				continue
+			}
+			for p := range demand {
+				demand[p] = 0
+			}
+			for i, j := range in.Jobs {
+				if j.Type == t && rem[i] > 0 && j.Project < nproj {
+					demand[j.Project] += j.Instances
+				}
+			}
+			alloc := allocate(demand, in.Shares, n)
+			for p, a := range alloc {
+				busy[t] += a
+				if a <= 0 {
+					continue
+				}
+				// Seat the project's jobs into its allocated instances
+				// in arrival order; jobs beyond the allocation wait.
+				// Seating deliberately ignores which job happens to be
+				// running right now: a state-dependent seating makes
+				// the endangered classification self-invalidating (the
+				// job the scheduler promotes immediately looks safe and
+				// is demoted again), causing preemption thrash.
+				for i, j := range in.Jobs {
+					if a <= 1e-12 {
+						break
+					}
+					if j.Type != t || rem[i] <= 0 || j.Project != p {
+						continue
+					}
+					r := math.Min(j.Instances, a)
+					a -= r
+					rates[i] = r * in.OnFrac[t]
+					anyRate = true
+				}
+			}
+		}
+
+		if firstStep {
+			for t := host.ProcType(0); t < host.NumProcTypes; t++ {
+				n := float64(in.Hardware.Proc[t].Count)
+				res.IdleNow[t] = math.Max(0, n-busy[t])
+				satOpen[t] = n > 0 && busy[t] >= n-1e-9
+			}
+			firstStep = false
+		}
+
+		// Step length: next job completion (or horizon end if no work).
+		dt := math.Inf(1)
+		for i := range in.Jobs {
+			if rem[i] > 0 && rates[i] > 0 {
+				if d := rem[i] / rates[i]; d < dt {
+					dt = d
+				}
+			}
+		}
+		atEnd := false
+		if unfinished == 0 || !anyRate || math.IsInf(dt, 1) {
+			// Nothing can progress: run the clock to the horizon so the
+			// shortfall integral completes, then stop.
+			dt = in.HorizonMax - elapsed
+			atEnd = true
+			if dt <= 0 {
+				break
+			}
+		}
+
+		// Integrate shortfall and saturation over [elapsed, elapsed+dt].
+		for t := host.ProcType(0); t < host.NumProcTypes; t++ {
+			n := float64(in.Hardware.Proc[t].Count)
+			if n == 0 {
+				continue
+			}
+			idle := math.Max(0, n-busy[t])
+			if ov := overlap(elapsed, elapsed+dt, 0, in.HorizonMin); ov > 0 {
+				res.ShortfallMin[t] += idle * ov
+			}
+			if ov := overlap(elapsed, elapsed+dt, 0, in.HorizonMax); ov > 0 {
+				res.ShortfallMax[t] += idle * ov
+			}
+			if satOpen[t] {
+				if busy[t] >= n-1e-9 {
+					res.Saturated[t] += dt
+				} else {
+					satOpen[t] = false
+				}
+			}
+		}
+		if in.Trace {
+			res.Trace = append(res.Trace, TraceStep{
+				Start: in.Now + elapsed, End: in.Now + elapsed + dt, Busy: busy,
+			})
+		}
+
+		// Advance jobs.
+		for i, j := range in.Jobs {
+			if rem[i] <= 0 || rates[i] <= 0 {
+				continue
+			}
+			rem[i] -= rates[i] * dt
+			if rem[i] <= 1e-9 {
+				rem[i] = 0
+				unfinished--
+				j.ProjectedFinish = in.Now + elapsed + dt
+				j.Endangered = j.ProjectedFinish > j.Deadline-in.DeadlineMargin
+				if j.Endangered {
+					res.NumEndangered++
+				}
+			}
+		}
+		elapsed += dt
+		if atEnd {
+			break
+		}
+	}
+
+	// Jobs that never finish (no device, zero rate forever).
+	for i, j := range in.Jobs {
+		if rem[i] > 0 {
+			j.ProjectedFinish = math.Inf(1)
+			j.Endangered = true
+			res.NumEndangered++
+		}
+	}
+	return res
+}
+
+// overlap returns the length of the intersection of [a0,a1] and [b0,b1].
+func overlap(a0, a1, b0, b1 float64) float64 {
+	lo := math.Max(a0, b0)
+	hi := math.Min(a1, b1)
+	if hi <= lo {
+		return 0
+	}
+	return hi - lo
+}

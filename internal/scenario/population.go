@@ -1,0 +1,133 @@
+// Scenario population sampling (paper §6.2: "characterize the actual
+// population of scenarios, and develop a system, perhaps based on
+// Monte-Carlo sampling, to study policies over the entire population").
+// The distributions below are loosely modelled on published SETI@home
+// host statistics: core counts cluster at small powers of two, a
+// minority of hosts have GPUs, most volunteers attach a handful of
+// projects, and availability varies from always-on to sporadic.
+package scenario
+
+import (
+	"fmt"
+	"math"
+
+	"bce/internal/stats"
+)
+
+// PopulationParams tunes the scenario sampler.
+type PopulationParams struct {
+	MaxProjects  int     // cap on attached projects (default 20)
+	GPUFraction  float64 // fraction of hosts with a GPU (default 0.3)
+	SporadicFrac float64 // fraction of hosts with on/off availability (default 0.6)
+	DurationDays float64 // emulation length (default 10)
+}
+
+func (p PopulationParams) withDefaults() PopulationParams {
+	if p.MaxProjects <= 0 {
+		p.MaxProjects = 20
+	}
+	if p.GPUFraction <= 0 {
+		p.GPUFraction = 0.3
+	}
+	if p.SporadicFrac <= 0 {
+		p.SporadicFrac = 0.6
+	}
+	if p.DurationDays <= 0 {
+		p.DurationDays = 10
+	}
+	return p
+}
+
+// Sample draws one random scenario from the population model.
+func Sample(rng *stats.RNG, params PopulationParams) *Scenario {
+	params = params.withDefaults()
+	s := &Scenario{
+		Name:         fmt.Sprintf("sampled-%06d", rng.Intn(1_000_000)),
+		DurationDays: params.DurationDays,
+		Seed:         int64(rng.Intn(1 << 30)),
+	}
+
+	// Hardware: 1..16 cores biased toward 2-8; per-core speed 1-8 GFLOPS.
+	cores := []int{1, 2, 2, 4, 4, 4, 8, 8, 16}
+	s.Host.NCPU = cores[rng.Intn(len(cores))]
+	s.Host.CPUGFlops = rng.Uniform(1, 8)
+	s.Host.MemGB = []float64{2, 4, 8, 8, 16, 32}[rng.Intn(6)]
+	if rng.Float64() < params.GPUFraction {
+		s.Host.NGPU = 1
+		if rng.Float64() < 0.15 {
+			s.Host.NGPU = 2
+		}
+		s.Host.GPUGFlops = rng.Uniform(50, 1000)
+		if rng.Float64() < 0.3 {
+			s.Host.GPUKind = "ati"
+		}
+	}
+
+	// Preferences: queue sizes from hours to days.
+	s.Host.MinQueueHours = rng.Uniform(0.5, 24)
+	s.Host.MaxQueueHours = s.Host.MinQueueHours + rng.Uniform(1, 48)
+	s.Host.LeaveInMemory = rng.Float64() < 0.5
+
+	// Availability: a majority of hosts cycle on/off.
+	if rng.Float64() < params.SporadicFrac {
+		s.Host.Avail = AvailJSON{
+			MeanOnHours:  rng.Uniform(2, 30),
+			MeanOffHours: rng.Uniform(1, 16),
+		}
+	}
+
+	// Projects: 1..MaxProjects with a strong bias toward few.
+	nproj := 1 + int(math.Floor(rng.Exp(2)))
+	if nproj > params.MaxProjects {
+		nproj = params.MaxProjects
+	}
+	for i := 0; i < nproj; i++ {
+		s.Projects = append(s.Projects, sampleProject(rng, i, s.Host.NGPU > 0, s.Host.GPUKind))
+	}
+	return s
+}
+
+func sampleProject(rng *stats.RNG, idx int, hostHasGPU bool, gpuKind string) ProjectJSON {
+	p := ProjectJSON{
+		Name:  fmt.Sprintf("proj%02d", idx),
+		Share: []float64{25, 50, 100, 100, 100, 200, 400}[rng.Intn(7)],
+	}
+	// Job length from minutes to ~a week, lognormal-ish.
+	mean := math.Exp(rng.Uniform(math.Log(300), math.Log(600000)))
+	slackFactor := rng.Uniform(1.5, 30)
+	app := AppJSON{
+		Name:        "app",
+		NCPUs:       1,
+		MemMB:       rng.Uniform(50, 1500),
+		MeanSecs:    mean,
+		StdevSecs:   mean * rng.Uniform(0, 0.3),
+		LatencySecs: mean * slackFactor,
+	}
+	kind := rng.Float64()
+	switch {
+	case hostHasGPU && kind < 0.25: // GPU-only project
+		app.NCPUs = rng.Uniform(0.05, 0.5)
+		app.NGPUs = 1
+		app.GPUKind = gpuKind
+		p.Apps = []AppJSON{app}
+	case hostHasGPU && kind < 0.45: // both CPU and GPU apps
+		gpu := app
+		gpu.Name = "app_gpu"
+		gpu.NCPUs = rng.Uniform(0.05, 0.5)
+		gpu.NGPUs = 1
+		gpu.GPUKind = gpuKind
+		gpu.MeanSecs = mean * rng.Uniform(0.05, 0.3)
+		gpu.LatencySecs = gpu.MeanSecs * slackFactor
+		p.Apps = []AppJSON{app, gpu}
+	default:
+		p.Apps = []AppJSON{app}
+	}
+	// Some projects are flaky or sporadically dry.
+	if rng.Float64() < 0.2 {
+		p.Downtime = AvailJSON{MeanOnHours: rng.Uniform(24, 24*14), MeanOffHours: rng.Uniform(1, 24)}
+	}
+	if rng.Float64() < 0.2 {
+		p.WorkGaps = AvailJSON{MeanOnHours: rng.Uniform(12, 24*7), MeanOffHours: rng.Uniform(1, 48)}
+	}
+	return p
+}

@@ -1,0 +1,341 @@
+// Package scenario defines the serializable usage-scenario format the
+// emulator consumes (paper §4.1: hardware, availability, attached
+// projects with shares and job properties, and policy selections), plus
+// an importer for a subset of BOINC's client_state.xml — the format
+// volunteers upload through the web interface (§4.3).
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"bce/internal/client"
+	"bce/internal/fetch"
+	"bce/internal/host"
+	"bce/internal/project"
+	"bce/internal/sched"
+	"bce/internal/transfer"
+)
+
+// Policies selects the policy variants for a run.
+type Policies struct {
+	JobSched    string  `json:"job_sched"`     // "JS-LOCAL", "JS-GLOBAL", "JS-WRR", "JS-LLF"
+	JobFetch    string  `json:"job_fetch"`     // "JF-ORIG", "JF-HYSTERESIS"
+	RECHalfLife float64 `json:"rec_half_life"` // seconds; 0 = BOINC default
+	Transfers   string  `json:"transfers"`     // "fifo", "smallest-first", "edf"
+}
+
+// ParseJobSched converts a policy name to its enum.
+func ParseJobSched(s string) (sched.Policy, error) {
+	switch s {
+	case "", "JS-LOCAL", "js-local", "local":
+		return sched.JSLocal, nil
+	case "JS-GLOBAL", "js-global", "global":
+		return sched.JSGlobal, nil
+	case "JS-WRR", "js-wrr", "wrr":
+		return sched.JSWRR, nil
+	case "JS-LLF", "js-llf", "llf":
+		return sched.JSLLF, nil
+	}
+	return 0, fmt.Errorf("scenario: unknown job scheduling policy %q", s)
+}
+
+// ParseJobFetch converts a fetch policy name to its enum.
+func ParseJobFetch(s string) (fetch.PolicyKind, error) {
+	switch s {
+	case "", "JF-HYSTERESIS", "jf-hysteresis", "hysteresis":
+		return fetch.JFHysteresis, nil
+	case "JF-ORIG", "jf-orig", "orig":
+		return fetch.JFOrig, nil
+	case "JF-SPREAD", "jf-spread", "spread":
+		return fetch.JFSpread, nil
+	}
+	return 0, fmt.Errorf("scenario: unknown job fetch policy %q", s)
+}
+
+// AvailJSON is an availability channel in hours.
+type AvailJSON struct {
+	MeanOnHours  float64 `json:"mean_on_hours"`
+	MeanOffHours float64 `json:"mean_off_hours"` // 0 = always on
+}
+
+func (a AvailJSON) spec() host.AvailSpec {
+	return host.AvailSpec{MeanOn: a.MeanOnHours * 3600, MeanOff: a.MeanOffHours * 3600}
+}
+
+// HostJSON describes the host hardware and preferences.
+type HostJSON struct {
+	NCPU      int     `json:"ncpu"`
+	CPUGFlops float64 `json:"cpu_gflops"`
+	NGPU      int     `json:"ngpu,omitempty"`
+	GPUGFlops float64 `json:"gpu_gflops,omitempty"`
+	GPUKind   string  `json:"gpu_kind,omitempty"` // "nvidia" (default) or "ati"
+	MemGB     float64 `json:"mem_gb,omitempty"`   // default 8
+	VRAMGB    float64 `json:"vram_gb,omitempty"`  // default 4
+
+	MinQueueHours float64 `json:"min_queue_hours,omitempty"`
+	MaxQueueHours float64 `json:"max_queue_hours,omitempty"`
+	LeaveInMemory bool    `json:"leave_in_memory,omitempty"`
+
+	// DownMbps/UpMbps are network link speeds in megabits/s; 0 means
+	// instantaneous transfers (the paper's baseline).
+	DownMbps float64 `json:"down_mbps,omitempty"`
+	UpMbps   float64 `json:"up_mbps,omitempty"`
+
+	Avail    AvailJSON `json:"availability,omitempty"`
+	GPUAvail AvailJSON `json:"gpu_availability,omitempty"`
+	NetAvail AvailJSON `json:"net_availability,omitempty"`
+
+	// AvailTrace, when non-empty, replays a recorded computing-
+	// availability trace (looping) instead of the random process.
+	AvailTrace []TracePeriodJSON `json:"availability_trace,omitempty"`
+
+	// ComputeHours restricts computing to a daily time-of-day window
+	// [start, end) in hours (paper §2.2's time-of-day preference);
+	// windows may cross midnight. Ignored when AvailTrace is set.
+	ComputeHours [2]float64 `json:"compute_hours,omitempty"`
+}
+
+// TracePeriodJSON is one segment of an availability trace.
+type TracePeriodJSON struct {
+	Hours float64 `json:"hours"`
+	On    bool    `json:"on"`
+}
+
+// AppJSON describes one application's jobs.
+type AppJSON struct {
+	Name        string  `json:"name"`
+	NCPUs       float64 `json:"ncpus"`
+	GPUKind     string  `json:"gpu_kind,omitempty"`
+	NGPUs       float64 `json:"ngpus,omitempty"`
+	MemMB       float64 `json:"mem_mb,omitempty"`
+	MeanSecs    float64 `json:"mean_secs"`
+	StdevSecs   float64 `json:"stdev_secs,omitempty"`
+	LatencySecs float64 `json:"latency_secs"`
+	InputMB     float64 `json:"input_mb,omitempty"`
+	OutputMB    float64 `json:"output_mb,omitempty"`
+	CheckpointS float64 `json:"checkpoint_secs,omitempty"` // default 60; -1 = never
+	EstErrBias  float64 `json:"est_err_bias,omitempty"`
+	EstErrSigma float64 `json:"est_err_sigma,omitempty"`
+	Weight      float64 `json:"weight,omitempty"`
+}
+
+// ProjectJSON describes one attached project.
+type ProjectJSON struct {
+	Name     string    `json:"name"`
+	Share    float64   `json:"share"`
+	Apps     []AppJSON `json:"apps"`
+	Downtime AvailJSON `json:"downtime,omitempty"`  // mean up/down in hours
+	WorkGaps AvailJSON `json:"work_gaps,omitempty"` // mean has-work/dry in hours
+	Check    string    `json:"deadline_check,omitempty"`
+}
+
+// Scenario is a complete emulator input.
+type Scenario struct {
+	Name         string        `json:"name"`
+	DurationDays float64       `json:"duration_days"`
+	Seed         int64         `json:"seed"`
+	Host         HostJSON      `json:"host"`
+	Projects     []ProjectJSON `json:"projects"`
+	Policies     Policies      `json:"policies"`
+}
+
+func gpuType(kind string) (host.ProcType, error) {
+	switch kind {
+	case "", "nvidia", "NVIDIA", "cuda", "CUDA":
+		return host.NvidiaGPU, nil
+	case "ati", "ATI", "amd", "AMD", "CAL":
+		return host.AtiGPU, nil
+	}
+	return 0, fmt.Errorf("scenario: unknown GPU kind %q", kind)
+}
+
+// BuildHost converts the host description.
+func (h HostJSON) BuildHost() (*host.Host, error) {
+	hw := host.Hardware{
+		MemBytes:  orDefault(h.MemGB, 8) * 1e9,
+		VRAMBytes: orDefault(h.VRAMGB, 4) * 1e9,
+	}
+	hw.DownloadBps = h.DownMbps * 1e6 / 8
+	hw.UploadBps = h.UpMbps * 1e6 / 8
+	hw.Proc[host.CPU] = host.Resource{Count: h.NCPU, FLOPSPerInst: h.CPUGFlops * 1e9}
+	if h.NGPU > 0 {
+		gt, err := gpuType(h.GPUKind)
+		if err != nil {
+			return nil, err
+		}
+		hw.Proc[gt] = host.Resource{Count: h.NGPU, FLOPSPerInst: h.GPUGFlops * 1e9}
+	}
+	prefs := host.Preferences{
+		MinQueue:      h.MinQueueHours * 3600,
+		MaxQueue:      h.MaxQueueHours * 3600,
+		LeaveInMemory: h.LeaveInMemory,
+	}
+	var avail host.Availability
+	avail.Spec[host.Compute] = h.Avail.spec()
+	avail.Spec[host.GPUCompute] = h.GPUAvail.spec()
+	avail.Spec[host.Network] = h.NetAvail.spec()
+	for _, p := range h.AvailTrace {
+		avail.Trace[host.Compute] = append(avail.Trace[host.Compute],
+			host.Period{Duration: p.Hours * 3600, On: p.On})
+	}
+	if len(avail.Trace[host.Compute]) == 0 && h.ComputeHours[0] != h.ComputeHours[1] {
+		avail.Trace[host.Compute] = host.DailyWindowTrace(h.ComputeHours[0], h.ComputeHours[1])
+	}
+	return host.New(hw, prefs, avail)
+}
+
+func orDefault(v, d float64) float64 {
+	if v <= 0 {
+		return d
+	}
+	return v
+}
+
+// buildApps converts the applications of one project.
+func buildApps(apps []AppJSON) ([]project.AppSpec, error) {
+	var out []project.AppSpec
+	for _, a := range apps {
+		cp := a.CheckpointS
+		if cp == 0 {
+			cp = 60
+		} else if cp < 0 {
+			cp = 0 // "never checkpoints"
+		}
+		spec := project.AppSpec{
+			Name:             a.Name,
+			MeanDuration:     a.MeanSecs,
+			StdevDuration:    a.StdevSecs,
+			LatencyBound:     a.LatencySecs,
+			CheckpointPeriod: cp,
+			EstErrBias:       a.EstErrBias,
+			EstErrSigma:      a.EstErrSigma,
+			InputBytes:       a.InputMB * 1e6,
+			OutputBytes:      a.OutputMB * 1e6,
+			Weight:           a.Weight,
+		}
+		spec.Usage.AvgCPUs = a.NCPUs
+		spec.Usage.MemBytes = a.MemMB * 1e6
+		if a.NGPUs > 0 {
+			gt, err := gpuType(a.GPUKind)
+			if err != nil {
+				return nil, err
+			}
+			spec.Usage.GPUType = gt
+			spec.Usage.GPUUsage = a.NGPUs
+		}
+		out = append(out, spec)
+	}
+	return out, nil
+}
+
+func parseCheck(s string) (project.DeadlineCheck, error) {
+	switch s {
+	case "", "none":
+		return project.NoCheck, nil
+	case "simple":
+		return project.SimpleCheck, nil
+	case "availability", "avail":
+		return project.AvailCheck, nil
+	}
+	return 0, fmt.Errorf("scenario: unknown deadline check %q", s)
+}
+
+// BuildProjects converts the project descriptions.
+func (s *Scenario) BuildProjects() ([]project.Spec, error) {
+	var out []project.Spec
+	for _, p := range s.Projects {
+		apps, err := buildApps(p.Apps)
+		if err != nil {
+			return nil, err
+		}
+		check, err := parseCheck(p.Check)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, project.Spec{
+			Name:     p.Name,
+			Share:    p.Share,
+			Apps:     apps,
+			Downtime: host.AvailSpec{MeanOn: p.Downtime.MeanOnHours * 3600, MeanOff: p.Downtime.MeanOffHours * 3600},
+			WorkGaps: host.AvailSpec{MeanOn: p.WorkGaps.MeanOnHours * 3600, MeanOff: p.WorkGaps.MeanOffHours * 3600},
+			Check:    check,
+		})
+	}
+	return out, nil
+}
+
+// Config builds the full emulator configuration.
+func (s *Scenario) Config() (client.Config, error) {
+	h, err := s.Host.BuildHost()
+	if err != nil {
+		return client.Config{}, err
+	}
+	projects, err := s.BuildProjects()
+	if err != nil {
+		return client.Config{}, err
+	}
+	js, err := ParseJobSched(s.Policies.JobSched)
+	if err != nil {
+		return client.Config{}, err
+	}
+	jf, err := ParseJobFetch(s.Policies.JobFetch)
+	if err != nil {
+		return client.Config{}, err
+	}
+	tp, err := transfer.ParsePolicy(s.Policies.Transfers)
+	if err != nil {
+		return client.Config{}, err
+	}
+	dur := s.DurationDays
+	if dur <= 0 {
+		dur = 10 // the paper's default simulation period
+	}
+	cfg := client.Config{
+		Host:           h,
+		Projects:       projects,
+		JobSched:       js,
+		JobFetch:       jf,
+		RECHalfLife:    s.Policies.RECHalfLife,
+		TransferPolicy: tp,
+		Duration:       dur * 86400,
+		Seed:           s.Seed,
+	}
+	if err := cfg.Validate(); err != nil {
+		return client.Config{}, err
+	}
+	return cfg, nil
+}
+
+// Load reads a scenario from JSON.
+func Load(r io.Reader) (*Scenario, error) {
+	var s Scenario
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	if _, err := s.Config(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// LoadFile reads a scenario from a JSON file.
+func LoadFile(path string) (*Scenario, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+// Save writes the scenario as indented JSON.
+func (s *Scenario) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

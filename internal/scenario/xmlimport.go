@@ -1,0 +1,244 @@
+// client_state.xml import: the paper's web interface lets alpha testers
+// paste their BOINC client state files to reproduce scheduling problems
+// under the emulator. This file parses the subset of that format needed
+// to reconstruct a scenario: host hardware, coprocessors, attached
+// projects with resource shares, application versions (device usage),
+// and in-progress results (whose estimates and deadlines parameterise
+// each project's job stream).
+package scenario
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+type xmlClientState struct {
+	XMLName  xml.Name        `xml:"client_state"`
+	HostInfo xmlHostInfo     `xml:"host_info"`
+	Projects []xmlProject    `xml:"project"`
+	Apps     []xmlAppVersion `xml:"app_version"`
+	Workunit []xmlWorkunit   `xml:"workunit"`
+	Results  []xmlResult     `xml:"result"`
+	Prefs    xmlGlobalPrefs  `xml:"global_preferences"`
+	TimeNow  float64         `xml:"time_stats>now"` // optional
+}
+
+type xmlHostInfo struct {
+	NCPUs   int       `xml:"p_ncpus"`
+	FPOps   float64   `xml:"p_fpops"`
+	MemSize float64   `xml:"m_nbytes"`
+	Coprocs xmlCoproc `xml:"coprocs"`
+}
+
+type xmlCoproc struct {
+	Cuda xmlGPU `xml:"coproc_cuda"`
+	Ati  xmlGPU `xml:"coproc_ati"`
+}
+
+type xmlGPU struct {
+	Count     int     `xml:"count"`
+	PeakFlops float64 `xml:"peak_flops"`
+}
+
+type xmlProject struct {
+	MasterURL     string  `xml:"master_url"`
+	ProjectName   string  `xml:"project_name"`
+	ResourceShare float64 `xml:"resource_share"`
+}
+
+type xmlAppVersion struct {
+	AppName  string      `xml:"app_name"`
+	AvgNCPUs float64     `xml:"avg_ncpus"`
+	Flops    float64     `xml:"flops"`
+	Coproc   xmlAVCoproc `xml:"coproc"`
+}
+
+type xmlAVCoproc struct {
+	Type  string  `xml:"type"`
+	Count float64 `xml:"count"`
+}
+
+type xmlWorkunit struct {
+	Name     string  `xml:"name"`
+	AppName  string  `xml:"app_name"`
+	FPOpsEst float64 `xml:"rsc_fpops_est"`
+}
+
+type xmlResult struct {
+	Name           string  `xml:"name"`
+	WUName         string  `xml:"wu_name"`
+	ProjectURL     string  `xml:"project_url"`
+	ReceivedTime   float64 `xml:"received_time"`
+	ReportDeadline float64 `xml:"report_deadline"`
+}
+
+type xmlGlobalPrefs struct {
+	WorkBufMinDays        float64 `xml:"work_buf_min_days"`
+	WorkBufAdditionalDays float64 `xml:"work_buf_additional_days"`
+	LeaveAppsInMemory     int     `xml:"leave_apps_in_memory"`
+	MaxMemPct             float64 `xml:"ram_max_used_busy_pct"`
+}
+
+// ImportClientState parses a BOINC client_state.xml (subset) into a
+// Scenario. The import is best-effort: job streams are reconstructed
+// from the in-progress results' estimates and deadlines, since the
+// state file is a snapshot, not a generator.
+func ImportClientState(r io.Reader) (*Scenario, error) {
+	var cs xmlClientState
+	dec := xml.NewDecoder(r)
+	if err := dec.Decode(&cs); err != nil {
+		return nil, fmt.Errorf("client_state: %w", err)
+	}
+	if cs.HostInfo.NCPUs <= 0 || cs.HostInfo.FPOps <= 0 {
+		return nil, fmt.Errorf("client_state: missing or invalid <host_info>")
+	}
+	if len(cs.Projects) == 0 {
+		return nil, fmt.Errorf("client_state: no <project> entries")
+	}
+
+	s := &Scenario{
+		Name: "imported",
+		Host: HostJSON{
+			NCPU:      cs.HostInfo.NCPUs,
+			CPUGFlops: cs.HostInfo.FPOps / 1e9,
+			MemGB:     cs.HostInfo.MemSize / 1e9,
+		},
+	}
+	if cs.HostInfo.Coprocs.Cuda.Count > 0 {
+		s.Host.NGPU = cs.HostInfo.Coprocs.Cuda.Count
+		s.Host.GPUGFlops = cs.HostInfo.Coprocs.Cuda.PeakFlops / float64(cs.HostInfo.Coprocs.Cuda.Count) / 1e9
+		s.Host.GPUKind = "nvidia"
+	} else if cs.HostInfo.Coprocs.Ati.Count > 0 {
+		s.Host.NGPU = cs.HostInfo.Coprocs.Ati.Count
+		s.Host.GPUGFlops = cs.HostInfo.Coprocs.Ati.PeakFlops / float64(cs.HostInfo.Coprocs.Ati.Count) / 1e9
+		s.Host.GPUKind = "ati"
+	}
+	if cs.Prefs.WorkBufMinDays > 0 {
+		s.Host.MinQueueHours = cs.Prefs.WorkBufMinDays * 24
+		s.Host.MaxQueueHours = (cs.Prefs.WorkBufMinDays + cs.Prefs.WorkBufAdditionalDays) * 24
+	}
+	s.Host.LeaveInMemory = cs.Prefs.LeaveAppsInMemory != 0
+
+	// Index workunits and app versions by name.
+	wus := make(map[string]xmlWorkunit, len(cs.Workunit))
+	for _, w := range cs.Workunit {
+		wus[w.Name] = w
+	}
+	apps := make(map[string]xmlAppVersion, len(cs.Apps))
+	for _, a := range cs.Apps {
+		apps[a.AppName] = a
+	}
+
+	// Group results by project URL to recover per-project job streams.
+	type appStats struct {
+		name      string
+		durations []float64
+		latencies []float64
+		av        xmlAppVersion
+		hasAV     bool
+	}
+	byProject := make(map[string]map[string]*appStats)
+	for _, res := range cs.Results {
+		wu, ok := wus[res.WUName]
+		if !ok {
+			continue
+		}
+		av, hasAV := apps[wu.AppName]
+		flops := av.Flops
+		if flops <= 0 {
+			flops = cs.HostInfo.FPOps
+		}
+		dur := wu.FPOpsEst / flops
+		if dur <= 0 {
+			continue
+		}
+		lat := res.ReportDeadline - res.ReceivedTime
+		if lat <= 0 {
+			lat = dur * 10
+		}
+		pm := byProject[res.ProjectURL]
+		if pm == nil {
+			pm = make(map[string]*appStats)
+			byProject[res.ProjectURL] = pm
+		}
+		st := pm[wu.AppName]
+		if st == nil {
+			st = &appStats{name: wu.AppName, av: av, hasAV: hasAV}
+			pm[wu.AppName] = st
+		}
+		st.durations = append(st.durations, dur)
+		st.latencies = append(st.latencies, lat)
+	}
+
+	for _, p := range cs.Projects {
+		pj := ProjectJSON{
+			Name:  projectLabel(p),
+			Share: p.ResourceShare,
+		}
+		if pj.Share <= 0 {
+			pj.Share = 100
+		}
+		pm := byProject[p.MasterURL]
+		// Deterministic app order.
+		var names []string
+		for n := range pm {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			st := pm[n]
+			app := AppJSON{
+				Name:        n,
+				NCPUs:       1,
+				MeanSecs:    median(st.durations),
+				LatencySecs: median(st.latencies),
+			}
+			if st.hasAV {
+				if st.av.AvgNCPUs > 0 {
+					app.NCPUs = st.av.AvgNCPUs
+				}
+				if st.av.Coproc.Count > 0 {
+					app.NGPUs = st.av.Coproc.Count
+					switch strings.ToUpper(st.av.Coproc.Type) {
+					case "ATI", "CAL", "AMD":
+						app.GPUKind = "ati"
+					default:
+						app.GPUKind = "nvidia"
+					}
+				}
+			}
+			pj.Apps = append(pj.Apps, app)
+		}
+		if len(pj.Apps) == 0 {
+			// Project with no in-progress results: synthesise a generic
+			// CPU app so it still participates in scheduling.
+			pj.Apps = append(pj.Apps, AppJSON{
+				Name: "generic", NCPUs: 1, MeanSecs: 3600, LatencySecs: 86400,
+			})
+		}
+		s.Projects = append(s.Projects, pj)
+	}
+	if _, err := s.Config(); err != nil {
+		return nil, fmt.Errorf("client_state: imported scenario invalid: %w", err)
+	}
+	return s, nil
+}
+
+func projectLabel(p xmlProject) string {
+	if p.ProjectName != "" {
+		return p.ProjectName
+	}
+	return p.MasterURL
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return s[len(s)/2]
+}

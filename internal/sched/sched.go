@@ -1,0 +1,230 @@
+// Package sched implements the BOINC client's job scheduling policy
+// (paper §3.3) and its variants:
+//
+//   - JS-LOCAL: the baseline policy with local (per-type debt)
+//     accounting,
+//   - JS-GLOBAL: the baseline policy with global (REC) accounting,
+//   - JS-WRR: JS-LOCAL without deadline awareness (pure weighted
+//     round-robin ordering).
+//
+// The policy builds an ordered job list — running jobs that have not
+// checkpointed first, then deadline-endangered jobs (earliest deadline
+// first), GPU jobs before CPU jobs, then priority order — and scans it,
+// running jobs until processors are fully committed, skipping jobs that
+// would exceed the memory limit.
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"bce/internal/host"
+	"bce/internal/job"
+)
+
+// Policy selects a job-scheduling policy variant.
+type Policy int
+
+const (
+	// JSLocal is the baseline policy with local accounting.
+	JSLocal Policy = iota
+	// JSGlobal is the baseline policy with global accounting.
+	JSGlobal
+	// JSWRR ignores deadlines (weighted round-robin only).
+	JSWRR
+	// JSLLF orders endangered jobs by least laxity instead of earliest
+	// deadline — the paper's §6.2 note that EDF is optimal only for
+	// uniprocessors and that other heuristics can beat it on
+	// multiprocessors. Uses global accounting.
+	JSLLF
+)
+
+// String returns the paper's name for the policy.
+func (p Policy) String() string {
+	switch p {
+	case JSLocal:
+		return "JS-LOCAL"
+	case JSGlobal:
+		return "JS-GLOBAL"
+	case JSWRR:
+		return "JS-WRR"
+	case JSLLF:
+		return "JS-LLF"
+	}
+	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+// UsesDeadlines reports whether the variant promotes deadline-
+// endangered jobs (true for all but JS-WRR).
+func (p Policy) UsesDeadlines() bool { return p != JSWRR }
+
+// Input is everything one scheduling pass needs.
+type Input struct {
+	Policy   Policy
+	Hardware *host.Hardware
+
+	// Now is the current time, used by laxity-based ordering.
+	Now float64
+
+	// Tasks is the client's queue: every unfinished task, whatever its
+	// state.
+	Tasks []*job.Task
+
+	// Endangered reports the round-robin simulation's deadline verdict
+	// for a task (ignored by JS-WRR).
+	Endangered func(*job.Task) bool
+
+	// Prio is PRIO_sched(P, T) from the accounting scheme.
+	Prio func(p int, t host.ProcType) float64
+
+	// MaxMemBytes caps the summed working sets of scheduled jobs.
+	MaxMemBytes float64
+
+	// GPUAllowed gates GPU jobs (the "GPU computing allowed"
+	// availability channel / preference).
+	GPUAllowed bool
+}
+
+// Decision is the outcome of a scheduling pass: the exact set of tasks
+// that should be running.
+type Decision struct {
+	Run []*job.Task
+}
+
+// RunSet returns the decision's tasks as a set for differencing.
+func (d Decision) RunSet() map[*job.Task]bool {
+	m := make(map[*job.Task]bool, len(d.Run))
+	for _, t := range d.Run {
+		m[t] = true
+	}
+	return m
+}
+
+// rank orders the job list. Lower rank runs earlier in the scan.
+type rank struct {
+	task       *job.Task
+	class      int     // 0: running un-checkpointed, 1: endangered GPU, 2: GPU, 3: endangered CPU, 4: CPU
+	deadline   float64 // EDF key within endangered classes
+	prio       float64 // accounting priority otherwise
+	running    bool    // tie-break: prefer already-running (fewer preemptions)
+	receivedAt float64 // final tie-break: FIFO
+}
+
+// Enforce computes the set of tasks to run (paper §3.3's "build an
+// ordered job list, then scan it").
+func Enforce(in Input) Decision {
+	ranks := make([]rank, 0, len(in.Tasks))
+	for _, t := range in.Tasks {
+		if t.Finished() || t.State == job.Downloading {
+			continue // not runnable until its input files arrive
+		}
+		isGPU := t.Usage.IsGPU()
+		if isGPU && !in.GPUAllowed {
+			continue
+		}
+		r := rank{
+			task:       t,
+			deadline:   t.Deadline,
+			prio:       in.Prio(t.Project, t.Usage.Type()),
+			running:    t.State == job.Running,
+			receivedAt: t.ReceivedAt,
+		}
+		if in.Policy == JSLLF {
+			// Laxity: time to deadline minus estimated remaining
+			// execution. Least laxity runs first among endangered.
+			r.deadline = (t.Deadline - in.Now) - t.EstRemaining()
+		}
+		endangered := in.Policy.UsesDeadlines() && in.Endangered != nil && in.Endangered(t)
+		switch {
+		case t.State == job.Running && t.SinceCheckpoint() > 0 && !t.CheckpointedSinceStart():
+			// "Running jobs that have not checkpointed yet have
+			// precedence over all others." Once a job checkpoints
+			// during its run session it becomes preemptable (at most
+			// one checkpoint period of work is at risk).
+			r.class = 0
+		case isGPU && endangered:
+			r.class = 1
+		case isGPU:
+			r.class = 2
+		case endangered:
+			r.class = 3
+		default:
+			r.class = 4
+		}
+		ranks = append(ranks, r)
+	}
+
+	sort.SliceStable(ranks, func(i, j int) bool {
+		a, b := ranks[i], ranks[j]
+		if a.class != b.class {
+			return a.class < b.class
+		}
+		switch a.class {
+		case 1, 3: // endangered classes: earliest deadline first
+			if a.deadline != b.deadline {
+				return a.deadline < b.deadline
+			}
+		default:
+			if a.prio != b.prio {
+				return a.prio > b.prio
+			}
+		}
+		if a.running != b.running {
+			return a.running
+		}
+		return a.receivedAt < b.receivedAt
+	})
+
+	// Scan: commit device instances and memory in rank order; stop when
+	// everything is saturated.
+	var remain [host.NumProcTypes]float64
+	for t := host.ProcType(0); t < host.NumProcTypes; t++ {
+		remain[t] = float64(in.Hardware.Proc[t].Count)
+	}
+	memRemain := in.MaxMemBytes
+	if memRemain <= 0 {
+		memRemain = in.Hardware.MemBytes
+	}
+
+	var dec Decision
+	const eps = 1e-9
+	for _, r := range ranks {
+		u := r.task.Usage
+		if u.MemBytes > memRemain+eps {
+			continue // "jobs are skipped if total memory usage would exceed the limit"
+		}
+		if u.IsGPU() {
+			if u.GPUUsage > remain[u.GPUType]+eps {
+				continue // "... or if GPUs cannot be allocated"
+			}
+			// GPU jobs may oversubscribe the CPU slightly; their CPU
+			// demand is typically fractional.
+			remain[u.GPUType] -= u.GPUUsage
+			remain[host.CPU] -= u.AvgCPUs
+		} else {
+			if remain[host.CPU] <= eps {
+				continue
+			}
+			// A CPU job runs when any CPU capacity remains; its full
+			// demand is committed (slight oversubscription allowed at
+			// the margin, as in BOINC).
+			remain[host.CPU] -= u.AvgCPUs
+		}
+		memRemain -= u.MemBytes
+		dec.Run = append(dec.Run, r.task)
+
+		if saturated(remain, in.Hardware) {
+			break
+		}
+	}
+	return dec
+}
+
+func saturated(remain [host.NumProcTypes]float64, hw *host.Hardware) bool {
+	for t := host.ProcType(0); t < host.NumProcTypes; t++ {
+		if hw.Proc[t].Count > 0 && remain[t] > 1e-9 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,168 @@
+// Package sim provides the discrete-event simulation kernel used by the
+// BOINC client emulator. Time is a float64 count of seconds from the start
+// of the emulation. Events are callbacks scheduled at absolute times;
+// events scheduled for the same instant fire in the order they were
+// scheduled, which keeps emulations deterministic for a fixed seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Timer is a handle to a scheduled event. It can be cancelled; cancelling
+// a timer that has already fired or been cancelled is a no-op.
+type Timer struct {
+	at       float64
+	seq      uint64
+	fn       func()
+	index    int // heap index, -1 when popped or cancelled
+	canceled bool
+}
+
+// At returns the absolute simulation time the timer is set for.
+func (t *Timer) At() float64 { return t.at }
+
+// Canceled reports whether Cancel was called on the timer.
+func (t *Timer) Canceled() bool { return t.canceled }
+
+type eventHeap []*Timer
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	t := x.(*Timer)
+	t.index = len(*h)
+	*h = append(*h, t)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	t.index = -1
+	*h = old[:n-1]
+	return t
+}
+
+// Simulator is a single-threaded discrete-event scheduler.
+// The zero value is ready to use and starts at time 0.
+type Simulator struct {
+	now    float64
+	seq    uint64
+	events eventHeap
+	nfired uint64
+}
+
+// New returns a simulator starting at time 0.
+func New() *Simulator { return &Simulator{} }
+
+// Now returns the current simulation time in seconds.
+func (s *Simulator) Now() float64 { return s.now }
+
+// Fired returns the number of events that have been dispatched.
+func (s *Simulator) Fired() uint64 { return s.nfired }
+
+// Pending returns the number of events waiting to fire (including
+// cancelled timers that have not yet been discarded).
+func (s *Simulator) Pending() int { return len(s.events) }
+
+// At schedules fn to run at absolute time t. Scheduling in the past
+// (t < Now()) panics: it indicates a logic error in the model.
+func (s *Simulator) At(t float64, fn func()) *Timer {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, s.now))
+	}
+	if math.IsNaN(t) {
+		panic("sim: scheduling at NaN")
+	}
+	tm := &Timer{at: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.events, tm)
+	return tm
+}
+
+// After schedules fn to run d seconds from now.
+func (s *Simulator) After(d float64, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now+d, fn)
+}
+
+// Cancel removes a timer so its callback never runs.
+func (s *Simulator) Cancel(t *Timer) {
+	if t == nil || t.canceled || t.index < 0 {
+		if t != nil {
+			t.canceled = true
+		}
+		return
+	}
+	t.canceled = true
+	heap.Remove(&s.events, t.index)
+	t.index = -1
+}
+
+// Reschedule cancels t and schedules its callback at a new absolute time,
+// returning the new timer.
+func (s *Simulator) Reschedule(t *Timer, at float64) *Timer {
+	fn := t.fn
+	s.Cancel(t)
+	return s.At(at, fn)
+}
+
+// Step fires the next event, advancing the clock to its time.
+// It returns false if no events remain.
+func (s *Simulator) Step() bool {
+	for len(s.events) > 0 {
+		t := heap.Pop(&s.events).(*Timer)
+		if t.canceled {
+			continue
+		}
+		s.now = t.at
+		s.nfired++
+		t.fn()
+		return true
+	}
+	return false
+}
+
+// RunUntil fires events in order until the clock would pass `end`,
+// then sets the clock to exactly `end`. Events scheduled at exactly
+// `end` do fire.
+func (s *Simulator) RunUntil(end float64) {
+	for len(s.events) > 0 {
+		t := s.events[0]
+		if t.canceled {
+			heap.Pop(&s.events)
+			continue
+		}
+		if t.at > end {
+			break
+		}
+		heap.Pop(&s.events)
+		s.now = t.at
+		s.nfired++
+		t.fn()
+	}
+	if end > s.now {
+		s.now = end
+	}
+}
+
+// Run fires events until none remain.
+func (s *Simulator) Run() {
+	for s.Step() {
+	}
+}

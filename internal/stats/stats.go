@@ -1,0 +1,190 @@
+// Package stats provides the random processes and summary statistics used
+// by the emulator: seeded RNG streams, truncated-normal and exponential
+// draws for job runtimes and availability periods, lognormal runtime
+// estimate errors, and small accumulators (mean, RMS, exponential decay).
+//
+// All randomness in an emulation flows through an *RNG derived from the
+// scenario seed, so runs are reproducible bit-for-bit.
+package stats
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RNG is a deterministic random stream. Distinct model components should
+// use distinct streams (see Fork) so adding draws to one component does
+// not perturb another.
+type RNG struct {
+	r *rand.Rand
+}
+
+// NewRNG returns a stream seeded with seed.
+func NewRNG(seed int64) *RNG {
+	return &RNG{r: rand.New(rand.NewSource(seed))}
+}
+
+// Fork derives an independent child stream; the label keeps children
+// with different purposes decorrelated even with equal parent state.
+func (g *RNG) Fork(label string) *RNG {
+	h := int64(14695981039346656037 & 0x7fffffffffffffff)
+	for _, c := range label {
+		h = (h ^ int64(c)) * 1099511628211
+	}
+	return NewRNG(g.r.Int63() ^ h)
+}
+
+// Float64 returns a uniform draw in [0,1).
+func (g *RNG) Float64() float64 { return g.r.Float64() }
+
+// Intn returns a uniform draw in [0,n).
+func (g *RNG) Intn(n int) int { return g.r.Intn(n) }
+
+// Uniform returns a uniform draw in [lo,hi).
+func (g *RNG) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*g.r.Float64()
+}
+
+// Normal returns a normal draw with the given mean and standard
+// deviation.
+func (g *RNG) Normal(mean, stdev float64) float64 {
+	return mean + stdev*g.r.NormFloat64()
+}
+
+// TruncNormal returns a normal draw truncated (by resampling, then
+// clamping) to [lo, hi]. The emulator uses it for job runtimes, which the
+// paper models as normally distributed but which must stay positive.
+func (g *RNG) TruncNormal(mean, stdev, lo, hi float64) float64 {
+	if stdev <= 0 {
+		return math.Min(hi, math.Max(lo, mean))
+	}
+	for i := 0; i < 8; i++ {
+		x := g.Normal(mean, stdev)
+		if x >= lo && x <= hi {
+			return x
+		}
+	}
+	return math.Min(hi, math.Max(lo, mean))
+}
+
+// Exp returns an exponential draw with the given mean. Used for
+// availability on/off period lengths, per the paper's host model.
+func (g *RNG) Exp(mean float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	return g.r.ExpFloat64() * mean
+}
+
+// Lognormal returns exp(N(mu, sigma)). Runtime estimate errors are
+// modelled as multiplicative lognormal factors with median exp(mu).
+func (g *RNG) Lognormal(mu, sigma float64) float64 {
+	return math.Exp(g.Normal(mu, sigma))
+}
+
+// Perm returns a random permutation of [0,n).
+func (g *RNG) Perm(n int) []int { return g.r.Perm(n) }
+
+// Mean is an online mean/variance accumulator (Welford).
+type Mean struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add folds a sample into the accumulator.
+func (m *Mean) Add(x float64) {
+	m.n++
+	d := x - m.mean
+	m.mean += d / float64(m.n)
+	m.m2 += d * (x - m.mean)
+}
+
+// N returns the number of samples.
+func (m *Mean) N() int { return m.n }
+
+// Mean returns the sample mean (0 with no samples).
+func (m *Mean) Mean() float64 { return m.mean }
+
+// Var returns the sample variance (0 with <2 samples).
+func (m *Mean) Var() float64 {
+	if m.n < 2 {
+		return 0
+	}
+	return m.m2 / float64(m.n-1)
+}
+
+// Stdev returns the sample standard deviation.
+func (m *Mean) Stdev() float64 { return math.Sqrt(m.Var()) }
+
+// CI95 returns the half-width of an approximate 95% confidence interval
+// on the mean (normal approximation).
+func (m *Mean) CI95() float64 {
+	if m.n < 2 {
+		return 0
+	}
+	return 1.96 * m.Stdev() / math.Sqrt(float64(m.n))
+}
+
+// RMS accumulates the root-mean-square of samples.
+type RMS struct {
+	n  int
+	ss float64
+}
+
+// Add folds a sample into the accumulator.
+func (r *RMS) Add(x float64) {
+	r.n++
+	r.ss += x * x
+}
+
+// Value returns sqrt(mean of squares) (0 with no samples).
+func (r *RMS) Value() float64 {
+	if r.n == 0 {
+		return 0
+	}
+	return math.Sqrt(r.ss / float64(r.n))
+}
+
+// DecayAvg is an exponentially-decaying accumulator with a configurable
+// half-life, the primitive behind REC (recent estimated credit)
+// accounting. Value decays continuously; Add charges an amount at a
+// given time.
+type DecayAvg struct {
+	HalfLife float64 // seconds; <=0 means no decay
+	value    float64
+	lastT    float64
+}
+
+// DecayTo decays the accumulator to time t without adding anything.
+func (d *DecayAvg) DecayTo(t float64) {
+	if d.HalfLife > 0 && t > d.lastT {
+		d.value *= math.Exp2(-(t - d.lastT) / d.HalfLife)
+	}
+	if t > d.lastT {
+		d.lastT = t
+	}
+}
+
+// Add decays to time t and then adds amount.
+func (d *DecayAvg) Add(t, amount float64) {
+	d.DecayTo(t)
+	d.value += amount
+}
+
+// Value returns the accumulator decayed to time t.
+func (d *DecayAvg) Value(t float64) float64 {
+	d.DecayTo(t)
+	return d.value
+}
+
+// Clamp01 clamps x to [0,1]; figures of merit are defined on that range.
+func Clamp01(x float64) float64 {
+	switch {
+	case math.IsNaN(x), x < 0:
+		return 0
+	case x > 1:
+		return 1
+	}
+	return x
+}

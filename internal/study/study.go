@@ -1,0 +1,162 @@
+// Package study runs Monte-Carlo policy studies over scenario
+// populations — the paper's §6.2 direction: "Characterize the actual
+// population of scenarios, and develop a system, perhaps based on
+// Monte-Carlo sampling, to study policies over the entire population."
+//
+// A study evaluates every policy combination on every sampled scenario
+// and reports population means with confidence intervals plus paired
+// per-scenario comparisons (which policy wins on how many scenarios),
+// which is far more sensitive than comparing means across a
+// heterogeneous population.
+package study
+
+import (
+	"fmt"
+	"strings"
+
+	"bce/internal/harness"
+	"bce/internal/metrics"
+	"bce/internal/scenario"
+	"bce/internal/stats"
+)
+
+// Combo is one policy combination under study.
+type Combo struct {
+	Sched string // "JS-LOCAL", "JS-GLOBAL", "JS-WRR", "JS-LLF"
+	Fetch string // "JF-ORIG", "JF-HYSTERESIS", "JF-SPREAD"
+}
+
+// String returns "sched/fetch".
+func (c Combo) String() string { return c.Sched + "/" + c.Fetch }
+
+// DefaultCombos is the policy matrix the paper's variants span.
+func DefaultCombos() []Combo {
+	return []Combo{
+		{"JS-LOCAL", "JF-ORIG"},
+		{"JS-LOCAL", "JF-HYSTERESIS"},
+		{"JS-GLOBAL", "JF-ORIG"},
+		{"JS-GLOBAL", "JF-HYSTERESIS"},
+		{"JS-WRR", "JF-HYSTERESIS"},
+	}
+}
+
+// Result holds per-scenario metric values for every combo.
+type Result struct {
+	Combos    []Combo
+	Scenarios int
+	// Values[combo][scenario] is the five figures of merit.
+	Values map[Combo][][5]float64
+	Failed map[Combo]int
+}
+
+// Run evaluates the combos over the sampled scenarios. Each scenario
+// keeps its own seed and duration; only the policies vary, so the
+// comparison is paired.
+func Run(samples []*scenario.Scenario, combos []Combo) (*Result, error) {
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("study: no scenarios")
+	}
+	if len(combos) == 0 {
+		combos = DefaultCombos()
+	}
+	res := &Result{
+		Combos:    combos,
+		Scenarios: len(samples),
+		Values:    make(map[Combo][][5]float64),
+		Failed:    make(map[Combo]int),
+	}
+	for _, combo := range combos {
+		vals := make([][5]float64, 0, len(samples))
+		for _, base := range samples {
+			s := *base
+			s.Policies.JobSched = combo.Sched
+			s.Policies.JobFetch = combo.Fetch
+			cfg, err := s.Config()
+			if err != nil {
+				return nil, fmt.Errorf("study: scenario %s with %s: %w", base.Name, combo, err)
+			}
+			r, err := harness.Run(cfg)
+			if err != nil {
+				res.Failed[combo]++
+				vals = append(vals, [5]float64{-1, -1, -1, -1, -1}) // sentinel, excluded below
+				continue
+			}
+			vals = append(vals, r.Metrics.Values())
+		}
+		res.Values[combo] = vals
+	}
+	return res, nil
+}
+
+// Mean returns the population mean and 95% CI half-width of one metric
+// for one combo (failed runs excluded).
+func (r *Result) Mean(combo Combo, metric int) (mean, ci float64) {
+	var m stats.Mean
+	for _, v := range r.Values[combo] {
+		if v[0] >= 0 {
+			m.Add(v[metric])
+		}
+	}
+	return m.Mean(), m.CI95()
+}
+
+// PairedWins counts, per scenario, which of a and b had the strictly
+// lower (better) value of the metric. Scenarios where either failed
+// are skipped.
+func (r *Result) PairedWins(metric int, a, b Combo) (aWins, bWins, ties int) {
+	va, vb := r.Values[a], r.Values[b]
+	for i := 0; i < len(va) && i < len(vb); i++ {
+		if va[i][0] < 0 || vb[i][0] < 0 {
+			continue
+		}
+		switch {
+		case va[i][metric] < vb[i][metric]:
+			aWins++
+		case vb[i][metric] < va[i][metric]:
+			bWins++
+		default:
+			ties++
+		}
+	}
+	return
+}
+
+// Table renders the population means, one row per combo.
+func (r *Result) Table() string {
+	var b strings.Builder
+	names := metrics.Names()
+	fmt.Fprintf(&b, "%-26s", "policy")
+	for _, n := range names {
+		fmt.Fprintf(&b, " %16s", n)
+	}
+	b.WriteByte('\n')
+	for _, combo := range r.Combos {
+		fmt.Fprintf(&b, "%-26s", combo.String())
+		for m := range names {
+			mean, ci := r.Mean(combo, m)
+			fmt.Fprintf(&b, " %16s", fmt.Sprintf("%.4f±%.3f", mean, ci))
+		}
+		if f := r.Failed[combo]; f > 0 {
+			fmt.Fprintf(&b, "  (%d failed)", f)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// WinsTable renders the paired comparison of every combo against the
+// first (the baseline) for one metric.
+func (r *Result) WinsTable(metric int) string {
+	if len(r.Combos) < 2 {
+		return ""
+	}
+	names := metrics.Names()
+	base := r.Combos[0]
+	var b strings.Builder
+	fmt.Fprintf(&b, "paired wins on %s vs baseline %s (lower is better)\n", names[metric], base)
+	for _, combo := range r.Combos[1:] {
+		cw, bw, ties := r.PairedWins(metric, combo, base)
+		fmt.Fprintf(&b, "  %-26s wins %3d, loses %3d, ties %3d\n", combo.String(), cw, bw, ties)
+	}
+	return b.String()
+}

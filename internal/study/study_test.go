@@ -1,0 +1,125 @@
+package study
+
+import (
+	"strings"
+	"testing"
+
+	"bce/internal/scenario"
+	"bce/internal/stats"
+)
+
+func population(n int) []*scenario.Scenario {
+	rng := stats.NewRNG(9)
+	out := make([]*scenario.Scenario, n)
+	for i := range out {
+		out[i] = scenario.Sample(rng, scenario.PopulationParams{DurationDays: 0.5})
+	}
+	return out
+}
+
+func TestRunDefaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("emulation-heavy")
+	}
+	res, err := Run(population(4), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Combos) != len(DefaultCombos()) || res.Scenarios != 4 {
+		t.Fatalf("result shape wrong: %d combos, %d scenarios", len(res.Combos), res.Scenarios)
+	}
+	for _, combo := range res.Combos {
+		if len(res.Values[combo]) != 4 {
+			t.Fatalf("%s has %d values", combo, len(res.Values[combo]))
+		}
+		for m := 0; m < 5; m++ {
+			mean, _ := res.Mean(combo, m)
+			if mean < 0 || mean > 1 {
+				t.Fatalf("%s metric %d mean %v out of range", combo, m, mean)
+			}
+		}
+	}
+}
+
+func TestRunEmpty(t *testing.T) {
+	if _, err := Run(nil, nil); err == nil {
+		t.Fatal("empty population accepted")
+	}
+}
+
+func TestPairedWinsIdenticalCombosTie(t *testing.T) {
+	if testing.Short() {
+		t.Skip("emulation-heavy")
+	}
+	combos := []Combo{
+		{"JS-LOCAL", "JF-HYSTERESIS"},
+		{"JS-LOCAL", "JF-HYSTERESIS"},
+	}
+	res, err := Run(population(3), combos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b, ties := res.PairedWins(0, combos[0], combos[1])
+	if a != 0 || b != 0 || ties != 3 {
+		t.Fatalf("identical combos: wins %d/%d ties %d, want all ties", a, b, ties)
+	}
+}
+
+func TestPairedWinsDirection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("emulation-heavy")
+	}
+	// JF-ORIG vs JF-HYSTERESIS on RPCs/job (metric 4): hysteresis
+	// should win on most multi-project scenarios.
+	combos := []Combo{
+		{"JS-LOCAL", "JF-HYSTERESIS"},
+		{"JS-LOCAL", "JF-ORIG"},
+	}
+	res, err := Run(population(6), combos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hystWins, origWins, _ := res.PairedWins(4, combos[0], combos[1])
+	if hystWins <= origWins {
+		t.Fatalf("hysteresis RPC wins %d <= orig wins %d", hystWins, origWins)
+	}
+}
+
+func TestTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("emulation-heavy")
+	}
+	res, err := Run(population(2), []Combo{
+		{"JS-LOCAL", "JF-HYSTERESIS"},
+		{"JS-GLOBAL", "JF-HYSTERESIS"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := res.Table()
+	for _, want := range []string{"policy", "JS-LOCAL/JF-HYSTERESIS", "JS-GLOBAL/JF-HYSTERESIS", "±"} {
+		if !strings.Contains(table, want) {
+			t.Fatalf("table missing %q:\n%s", want, table)
+		}
+	}
+	wins := res.WinsTable(0)
+	if !strings.Contains(wins, "paired wins") || !strings.Contains(wins, "baseline") {
+		t.Fatalf("wins table malformed:\n%s", wins)
+	}
+	if (&Result{Combos: []Combo{{"a", "b"}}}).WinsTable(0) != "" {
+		t.Fatal("single-combo wins table should be empty")
+	}
+}
+
+func TestComboString(t *testing.T) {
+	if (Combo{"JS-WRR", "JF-ORIG"}).String() != "JS-WRR/JF-ORIG" {
+		t.Fatal("combo formatting")
+	}
+}
+
+func TestBadComboRejected(t *testing.T) {
+	_, err := Run(population(1), []Combo{{"JS-NOPE", "JF-ORIG"}})
+	if err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}

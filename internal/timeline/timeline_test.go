@@ -1,0 +1,135 @@
+package timeline
+
+import (
+	"strings"
+	"testing"
+
+	"bce/internal/host"
+)
+
+func TestStartStop(t *testing.T) {
+	r := NewRecorder()
+	r.Start(10, "a", 0, host.CPU, 1)
+	r.Stop(30, "a")
+	if len(r.Segments) != 1 {
+		t.Fatalf("segments = %d, want 1", len(r.Segments))
+	}
+	s := r.Segments[0]
+	if s.Start != 10 || s.End != 30 || s.Task != "a" || s.Project != 0 {
+		t.Fatalf("segment wrong: %+v", s)
+	}
+}
+
+func TestStopUnknownNoop(t *testing.T) {
+	r := NewRecorder()
+	r.Stop(5, "ghost")
+	if len(r.Segments) != 0 {
+		t.Fatal("stopping unknown task created a segment")
+	}
+}
+
+func TestZeroLengthDropped(t *testing.T) {
+	r := NewRecorder()
+	r.Start(10, "a", 0, host.CPU, 1)
+	r.Stop(10, "a")
+	if len(r.Segments) != 0 {
+		t.Fatal("zero-length segment recorded")
+	}
+}
+
+func TestCloseAll(t *testing.T) {
+	r := NewRecorder()
+	r.Start(0, "a", 0, host.CPU, 1)
+	r.Start(5, "b", 1, host.NvidiaGPU, 1)
+	r.CloseAll(100)
+	if len(r.Segments) != 2 {
+		t.Fatalf("segments = %d, want 2", len(r.Segments))
+	}
+	for _, s := range r.Segments {
+		if s.End != 100 {
+			t.Fatalf("segment not closed at 100: %+v", s)
+		}
+	}
+}
+
+func TestSpan(t *testing.T) {
+	r := NewRecorder()
+	lo, hi := r.Span()
+	if lo != 0 || hi != 0 {
+		t.Fatal("empty span should be (0,0)")
+	}
+	r.Start(10, "a", 0, host.CPU, 1)
+	r.Stop(50, "a")
+	r.Start(20, "b", 1, host.CPU, 1)
+	r.Stop(90, "b")
+	lo, hi = r.Span()
+	if lo != 10 || hi != 90 {
+		t.Fatalf("span = (%v,%v), want (10,90)", lo, hi)
+	}
+}
+
+func TestASCII(t *testing.T) {
+	r := NewRecorder()
+	r.Start(0, "a", 0, host.CPU, 1)
+	r.Stop(50, "a")
+	r.Start(50, "b", 1, host.CPU, 1)
+	r.Stop(100, "b")
+	out := r.ASCII(2, 20)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("ASCII lines = %d, want 3:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "#") || !strings.Contains(lines[1], "#") {
+		t.Fatalf("rows lack busy marks:\n%s", out)
+	}
+	// Project 0 busy in the first half only.
+	row0 := lines[0][strings.Index(lines[0], "|")+1:]
+	if row0[0] != '#' || row0[15] != '.' {
+		t.Fatalf("project 0 occupancy wrong: %q", row0)
+	}
+}
+
+func TestASCIIEmpty(t *testing.T) {
+	r := NewRecorder()
+	if out := r.ASCII(2, 10); !strings.Contains(out, "empty") {
+		t.Fatalf("empty timeline output: %q", out)
+	}
+}
+
+func TestSVGWellFormed(t *testing.T) {
+	r := NewRecorder()
+	r.Start(0, "a", 0, host.CPU, 1)
+	r.Stop(100, "a")
+	r.Start(0, "g", 1, host.NvidiaGPU, 1)
+	r.Stop(80, "g")
+	svg := r.SVG(800, 20)
+	for _, want := range []string{"<svg", "</svg>", "<rect", "CPU", "NVIDIA"} {
+		if !strings.Contains(svg, want) {
+			t.Fatalf("SVG missing %q", want)
+		}
+	}
+	if strings.Count(svg, "<rect") != 2 {
+		t.Fatalf("SVG rect count = %d, want 2", strings.Count(svg, "<rect"))
+	}
+}
+
+func TestSVGPacksOverlaps(t *testing.T) {
+	r := NewRecorder()
+	// Two overlapping CPU tasks need two rows.
+	r.Start(0, "a", 0, host.CPU, 1)
+	r.Start(10, "b", 1, host.CPU, 1)
+	r.Stop(50, "a")
+	r.Stop(60, "b")
+	svg := r.SVG(400, 20)
+	// Row 0 at y=2, row 1 at y=22.
+	if !strings.Contains(svg, `y="2"`) || !strings.Contains(svg, `y="22"`) {
+		t.Fatalf("overlapping segments not packed into rows:\n%s", svg)
+	}
+}
+
+func TestSVGEmpty(t *testing.T) {
+	r := NewRecorder()
+	if svg := r.SVG(100, 10); !strings.Contains(svg, "<svg") {
+		t.Fatal("empty SVG not well-formed")
+	}
+}

@@ -1,0 +1,250 @@
+// Package web implements the paper's web interface to BCE (§4.3): a
+// page where volunteers paste or upload their BOINC client_state.xml
+// (or a JSON scenario), pick policy variants, and get back the figures
+// of merit, the message log of scheduling decisions, and an SVG
+// timeline — the workflow alpha testers used to hand reproducible
+// scheduling problems to the BOINC developers. Uploads are kept on the
+// server (paper: "the input files are saved on the server").
+package web
+
+import (
+	"bytes"
+	"fmt"
+	"html/template"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"bce/internal/client"
+	"bce/internal/metrics"
+	"bce/internal/scenario"
+)
+
+// Server is the BCE web frontend. SaveDir, when nonempty, receives a
+// copy of every uploaded scenario.
+type Server struct {
+	SaveDir string
+	MaxDays float64 // cap on emulation length (default 30)
+
+	mu    sync.Mutex
+	runs  int
+	saved int
+}
+
+// NewServer returns a web frontend saving uploads to saveDir ("" =
+// don't save).
+func NewServer(saveDir string) *Server {
+	return &Server{SaveDir: saveDir, MaxDays: 30}
+}
+
+// Handler returns the HTTP handler tree.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.index)
+	mux.HandleFunc("/run", s.run)
+	return mux
+}
+
+var indexTmpl = template.Must(template.New("index").Parse(`<!doctype html>
+<html><head><title>BCE — BOINC client emulator</title>
+<style>
+ body { font-family: sans-serif; max-width: 56em; margin: 2em auto; }
+ textarea { width: 100%; font-family: monospace; }
+ label { display: inline-block; margin-right: 1.5em; }
+</style></head>
+<body>
+<h1>BOINC client emulator</h1>
+<p>Paste your <code>client_state.xml</code> (or a JSON scenario) below,
+pick the scheduling policies, and the emulator will predict the client's
+behaviour and report the figures of merit.</p>
+<form method="post" action="/run">
+<textarea name="state" rows="16" placeholder="&lt;client_state&gt;...&lt;/client_state&gt;  or  {&quot;name&quot;: ...}"></textarea>
+<p>
+<label>job scheduling:
+ <select name="sched">
+  <option>JS-LOCAL</option><option>JS-GLOBAL</option><option>JS-WRR</option>
+ </select></label>
+<label>job fetch:
+ <select name="fetch">
+  <option>JF-HYSTERESIS</option><option>JF-ORIG</option>
+ </select></label>
+<label>days: <input name="days" value="10" size="4"></label>
+<label>seed: <input name="seed" value="1" size="6"></label>
+</p>
+<p><input type="submit" value="Emulate"></p>
+</form>
+</body></html>`))
+
+var resultTmpl = template.Must(template.New("result").Parse(`<!doctype html>
+<html><head><title>BCE result — {{.Name}}</title>
+<style>
+ body { font-family: sans-serif; max-width: 72em; margin: 2em auto; }
+ table { border-collapse: collapse; }
+ td, th { border: 1px solid #ccc; padding: 0.3em 0.8em; text-align: right; }
+ th { background: #eee; }
+ pre { background: #f7f7f7; padding: 1em; overflow-x: auto; max-height: 30em; }
+</style></head>
+<body>
+<h1>Emulation of “{{.Name}}”</h1>
+<p>{{.NProjects}} project(s), {{.Days}} days, policies {{.Sched}} / {{.Fetch}}.</p>
+<h2>Figures of merit</h2>
+<table><tr>{{range .MetricNames}}<th>{{.}}</th>{{end}}</tr>
+<tr>{{range .MetricValues}}<td>{{printf "%.4f" .}}</td>{{end}}</tr></table>
+<p>{{.Jobs}} jobs completed ({{.Missed}} missed their deadline), {{.RPCs}} scheduler RPCs.</p>
+<h2>Timeline</h2>
+{{.SVG}}
+<h2>Message log (first {{.LogLines}} lines)</h2>
+<pre>{{.Log}}</pre>
+<p><a href="/">run another scenario</a></p>
+</body></html>`))
+
+func (s *Server) index(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	indexTmpl.Execute(w, nil)
+}
+
+// maxLogLines bounds the log excerpt shown on the result page.
+const maxLogLines = 500
+
+func (s *Server) run(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	state := strings.TrimSpace(r.FormValue("state"))
+	if state == "" {
+		http.Error(w, "no scenario supplied", http.StatusBadRequest)
+		return
+	}
+	scn, err := parseUpload(state)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if v, err := strconv.ParseFloat(r.FormValue("days"), 64); err == nil && v > 0 {
+		scn.DurationDays = v
+	}
+	maxDays := s.MaxDays
+	if maxDays <= 0 {
+		maxDays = 30
+	}
+	if scn.DurationDays > maxDays || scn.DurationDays <= 0 {
+		scn.DurationDays = maxDays
+	}
+	if v, err := strconv.ParseInt(r.FormValue("seed"), 10, 64); err == nil {
+		scn.Seed = v
+	}
+	if p := r.FormValue("sched"); p != "" {
+		scn.Policies.JobSched = p
+	}
+	if p := r.FormValue("fetch"); p != "" {
+		scn.Policies.JobFetch = p
+	}
+
+	cfg, err := scn.Config()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.save(state)
+
+	var log bytes.Buffer
+	cfg.RecordTimeline = true
+	cfg.Log = &log
+	c, err := client.New(cfg)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	res, err := c.Run()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	s.mu.Lock()
+	s.runs++
+	s.mu.Unlock()
+
+	logLines := strings.SplitN(log.String(), "\n", maxLogLines+1)
+	if len(logLines) > maxLogLines {
+		logLines = logLines[:maxLogLines]
+	}
+	names := metrics.Names()
+	data := struct {
+		Name         string
+		NProjects    int
+		Days         float64
+		Sched, Fetch string
+		MetricNames  []string
+		MetricValues []float64
+		Jobs, Missed int
+		RPCs         int
+		SVG          template.HTML
+		Log          string
+		LogLines     int
+	}{
+		Name:         scn.Name,
+		NProjects:    len(scn.Projects),
+		Days:         scn.DurationDays,
+		Sched:        orDefault(scn.Policies.JobSched, "JS-LOCAL"),
+		Fetch:        orDefault(scn.Policies.JobFetch, "JF-HYSTERESIS"),
+		MetricNames:  names[:],
+		MetricValues: func() []float64 { v := res.Metrics.Values(); return v[:] }(),
+		Jobs:         res.Metrics.CompletedJobs,
+		Missed:       res.Metrics.MissedJobs,
+		RPCs:         res.Metrics.RPCs,
+		SVG:          template.HTML(res.Timeline.SVG(1100, 16)),
+		Log:          strings.Join(logLines, "\n"),
+		LogLines:     maxLogLines,
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	resultTmpl.Execute(w, data)
+}
+
+// parseUpload accepts either a client_state.xml or a JSON scenario.
+func parseUpload(state string) (*scenario.Scenario, error) {
+	if strings.HasPrefix(state, "{") {
+		return scenario.Load(strings.NewReader(state))
+	}
+	if strings.Contains(state, "<client_state") {
+		return scenario.ImportClientState(strings.NewReader(state))
+	}
+	return nil, fmt.Errorf("input is neither a JSON scenario nor a client_state.xml")
+}
+
+// save writes the upload to SaveDir for later debugging (the paper's
+// "input files are saved on the server").
+func (s *Server) save(state string) {
+	if s.SaveDir == "" {
+		return
+	}
+	s.mu.Lock()
+	s.saved++
+	n := s.saved
+	s.mu.Unlock()
+	name := fmt.Sprintf("upload_%s_%04d.txt", time.Now().UTC().Format("20060102T150405"), n)
+	_ = os.MkdirAll(s.SaveDir, 0o755)
+	_ = os.WriteFile(filepath.Join(s.SaveDir, name), []byte(state), 0o644)
+}
+
+// Runs reports how many emulations the server has performed.
+func (s *Server) Runs() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.runs
+}
+
+func orDefault(v, d string) string {
+	if v == "" {
+		return d
+	}
+	return v
+}
