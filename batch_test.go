@@ -1,0 +1,141 @@
+package bce
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// batchScenarios builds n independent scenarios with derived seeds.
+func batchScenarios(n int, days float64) []*Scenario {
+	scns := make([]*Scenario, n)
+	for i := range scns {
+		s := twoProjectScenario()
+		s.Name = fmt.Sprintf("batch-%d", i)
+		s.DurationDays = days
+		s.Seed = DeriveSeed(3, i)
+		scns[i] = s
+	}
+	return scns
+}
+
+// RunBatch with several workers must reproduce the sequential Run path
+// bit for bit, scenario by scenario.
+func TestRunBatchMatchesSequential(t *testing.T) {
+	scns := batchScenarios(6, 1)
+	want := make([]*Result, len(scns))
+	for i, s := range scns {
+		res, err := Run(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = res
+	}
+	results, err := RunBatch(context.Background(), scns, WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(scns) {
+		t.Fatalf("got %d results for %d scenarios", len(results), len(scns))
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("scenario %d: %v", i, r.Err)
+		}
+		if r.Index != i || r.Label != scns[i].Name {
+			t.Fatalf("scenario %d misattributed: index=%d label=%q", i, r.Index, r.Label)
+		}
+		if !reflect.DeepEqual(r.Result.Metrics, want[i].Metrics) {
+			t.Errorf("scenario %d: parallel metrics differ from sequential run", i)
+		}
+		if r.Result.Events != want[i].Events {
+			t.Errorf("scenario %d: %d events parallel vs %d sequential", i, r.Result.Events, want[i].Events)
+		}
+	}
+}
+
+// Cancelling the context must return promptly with a wrapped
+// context.Canceled, even for emulations that would run much longer.
+func TestRunBatchCancellation(t *testing.T) {
+	scns := batchScenarios(8, 3650) // ten simulated years each
+	ctx, cancel := context.WithCancel(context.Background())
+	var fired atomic.Bool
+	opts := []BatchOption{
+		WithWorkers(2),
+		WithProgress(func(p BatchProgress) {
+			if p.Started > 0 && fired.CompareAndSwap(false, true) {
+				cancel()
+			}
+		}),
+	}
+	begin := time.Now()
+	results, err := RunBatch(ctx, scns, opts...)
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("want wrapped context.Canceled, got %v", err)
+	}
+	if d := time.Since(begin); d > 30*time.Second {
+		t.Fatalf("cancellation took %v; want prompt return", d)
+	}
+	if len(results) != len(scns) {
+		t.Fatalf("got %d results for %d scenarios", len(results), len(scns))
+	}
+	cancel()
+}
+
+// RunContext on an expired deadline must not run the emulation.
+func TestRunContextDeadline(t *testing.T) {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	if _, err := RunContext(ctx, twoProjectScenario()); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want context.DeadlineExceeded, got %v", err)
+	}
+}
+
+// An invalid scenario inside a batch fails that run without poisoning
+// its siblings (no fail-fast by default).
+func TestRunBatchPartialFailure(t *testing.T) {
+	scns := batchScenarios(3, 1)
+	scns[1] = &Scenario{Name: "broken"}
+	results, err := RunBatch(context.Background(), scns, WithWorkers(2))
+	if err != nil {
+		t.Fatalf("batch error without fail-fast: %v", err)
+	}
+	if results[1].Err == nil {
+		t.Fatal("broken scenario reported no error")
+	}
+	for _, i := range []int{0, 2} {
+		if results[i].Err != nil || results[i].Result == nil {
+			t.Fatalf("scenario %d should have completed: %v", i, results[i].Err)
+		}
+	}
+}
+
+// On machines with enough cores, the parallel engine must beat the
+// sequential path by a wide margin (ISSUE acceptance: ≥2x on ≥4 cores).
+func TestRunBatchSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("speedup measurement skipped in -short mode")
+	}
+	if runtime.NumCPU() < 4 {
+		t.Skipf("need >=4 CPUs for a meaningful speedup test, have %d", runtime.NumCPU())
+	}
+	scns := batchScenarios(32, 2)
+	begin := time.Now()
+	if _, err := RunBatch(context.Background(), scns, WithWorkers(1)); err != nil {
+		t.Fatal(err)
+	}
+	seq := time.Since(begin)
+	begin = time.Now()
+	if _, err := RunBatch(context.Background(), scns, WithWorkers(4)); err != nil {
+		t.Fatal(err)
+	}
+	par := time.Since(begin)
+	if speedup := seq.Seconds() / par.Seconds(); speedup < 2 {
+		t.Errorf("4-worker speedup %.2fx, want >=2x (seq %v, par %v)", speedup, seq, par)
+	}
+}

@@ -37,10 +37,13 @@
 package bce
 
 import (
+	"context"
+	"fmt"
 	"io"
 
 	"bce/internal/client"
 	"bce/internal/metrics"
+	"bce/internal/runner"
 	"bce/internal/scenario"
 	"bce/internal/stats"
 	"bce/internal/timeline"
@@ -77,23 +80,85 @@ type Result = client.Result
 // Timeline is the recorded processor-usage timeline.
 type Timeline = timeline.Recorder
 
-// Run emulates the scenario and reports the figures of merit.
-func Run(s *Scenario) (*Result, error) {
+// Run emulates the scenario and reports the figures of merit. It is
+// RunContext with a background context.
+func Run(s *Scenario) (*Result, error) { return RunContext(context.Background(), s) }
+
+// RunContext emulates the scenario under ctx: cancellation or timeout
+// stops the emulation between simulator events and returns an error
+// wrapping the context's cause, so errors.Is(err, context.Canceled)
+// reports a canceled run. Panics inside the emulation are recovered
+// and surfaced as errors.
+func RunContext(ctx context.Context, s *Scenario) (*Result, error) {
 	cfg, err := s.Config()
 	if err != nil {
 		return nil, err
 	}
-	return RunConfig(cfg)
+	return RunConfigContext(ctx, cfg)
 }
 
 // RunConfig emulates a low-level configuration.
 func RunConfig(cfg Config) (*Result, error) {
-	c, err := client.New(cfg)
-	if err != nil {
-		return nil, err
-	}
-	return c.Run()
+	return RunConfigContext(context.Background(), cfg)
 }
+
+// RunConfigContext emulates a low-level configuration under ctx (see
+// RunContext for the cancellation contract).
+func RunConfigContext(ctx context.Context, cfg Config) (*Result, error) {
+	return runner.Run(ctx, cfg)
+}
+
+// BatchOption configures RunBatch; see WithWorkers, WithProgress and
+// WithFailFast.
+type BatchOption = runner.Option
+
+// BatchProgress is a live snapshot of a batch in flight.
+type BatchProgress = runner.Progress
+
+// BatchResult is the outcome of one run of a batch; results are
+// returned in scenario order regardless of completion order.
+type BatchResult = runner.RunResult
+
+// WithWorkers bounds the batch worker pool to n concurrent runs
+// (default runtime.GOMAXPROCS(0)).
+func WithWorkers(n int) BatchOption { return runner.WithWorkers(n) }
+
+// WithProgress installs a live progress callback (runs started/done,
+// events simulated, wall-clock rates). The callback is invoked
+// serially and should return quickly.
+func WithProgress(fn func(BatchProgress)) BatchOption { return runner.WithProgress(fn) }
+
+// WithFailFast makes the first run error cancel the rest of the batch.
+func WithFailFast(on bool) BatchOption { return runner.WithFailFast(on) }
+
+// RunBatch emulates many scenarios concurrently on a bounded worker
+// pool. Each run builds its own emulator state from its scenario, and
+// every scenario keeps its own Seed, so the results — returned in
+// scenario order — are bit-identical to running the scenarios
+// sequentially, for any worker count. Scenarios must not be mutated
+// while the batch runs. The returned error is non-nil only when the
+// whole batch stopped early (context canceled, or a run failed under
+// WithFailFast); otherwise per-run failures are reported in the
+// results.
+func RunBatch(ctx context.Context, scenarios []*Scenario, opts ...BatchOption) ([]BatchResult, error) {
+	specs := make([]runner.Spec, len(scenarios))
+	for i, s := range scenarios {
+		s := s
+		label := s.Name
+		if label == "" {
+			label = fmt.Sprintf("scenario %d", i)
+		}
+		specs[i] = runner.Spec{Label: label, Make: s.Config}
+	}
+	return runner.Batch(ctx, specs, opts...)
+}
+
+// DeriveSeed deterministically derives the i-th run's seed from a base
+// seed, decorrelating replicated scenarios without shared RNG state:
+// the same (base, i) yields the same seed on any machine with any
+// worker count. Use it to stamp Seed when fanning one scenario out
+// into a batch.
+func DeriveSeed(base int64, i int) int64 { return runner.DeriveSeed(base, i) }
 
 // RunWithTimeline emulates the scenario recording the processor-usage
 // timeline (renderable as ASCII or SVG) and writing the message log of

@@ -11,6 +11,7 @@ package bce
 // doubles as a reproduction record (see EXPERIMENTS.md).
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -130,6 +131,42 @@ func BenchmarkEmulationDay(b *testing.B) {
 		if i == 0 {
 			b.ReportMetric(float64(res.Events), "events/day")
 		}
+	}
+}
+
+// BenchmarkRunBatch measures the parallel execution engine on a fixed
+// 16-run workload (one emulated day each) across worker counts. On a
+// multi-core machine the runs/sec metric should scale until the worker
+// count exceeds the cores.
+func BenchmarkRunBatch(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				scns := make([]*Scenario, 16)
+				for j := range scns {
+					scns[j] = &Scenario{
+						Name: fmt.Sprintf("batch-%d", j), DurationDays: 1,
+						Seed: DeriveSeed(int64(i), j),
+						Host: HostJSON{NCPU: 2, CPUGFlops: 1, MinQueueHours: 1, MaxQueueHours: 4},
+						Projects: []ProjectJSON{
+							{Name: "a", Share: 100, Apps: []AppJSON{{Name: "x", NCPUs: 1, MeanSecs: 1200, LatencySecs: 86400}}},
+							{Name: "b", Share: 100, Apps: []AppJSON{{Name: "y", NCPUs: 1, MeanSecs: 2400, LatencySecs: 86400}}},
+						},
+					}
+				}
+				results, err := RunBatch(context.Background(), scns, WithWorkers(workers))
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, r := range results {
+					if r.Err != nil {
+						b.Fatal(r.Err)
+					}
+				}
+			}
+			b.ReportMetric(float64(16*b.N)/b.Elapsed().Seconds(), "runs/s")
+		})
 	}
 }
 

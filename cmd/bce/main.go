@@ -16,9 +16,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"bce"
 	"bce/internal/metrics"
@@ -68,7 +71,10 @@ func main() {
 	if *logOut {
 		cfg.Log = os.Stderr
 	}
-	res, err := bce.RunConfig(cfg)
+	// Ctrl-C stops the emulation between simulator events.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	res, err := bce.RunConfigContext(ctx, cfg)
 	if err != nil {
 		fatal(err)
 	}

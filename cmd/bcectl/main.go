@@ -11,25 +11,32 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"runtime"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"bce"
 	"bce/internal/experiments"
 	"bce/internal/harness"
 	"bce/internal/report"
+	"bce/internal/runner"
 	"bce/internal/scenario"
 )
 
 func main() {
 	var (
-		seeds = flag.Int("seeds", 3, "replications per configuration")
-		csv   = flag.String("csv", "", "also write figure/sweep data as CSV to this file")
-		chart = flag.Bool("chart", true, "print ASCII charts for sweeps")
-		html  = flag.String("html", "", "also write an HTML report with SVG charts to this file")
+		seeds    = flag.Int("seeds", 3, "replications per configuration")
+		workers  = flag.Int("workers", runtime.NumCPU(), "concurrent emulation runs")
+		progress = flag.Bool("progress", false, "print live batch progress to stderr")
+		csv      = flag.String("csv", "", "also write figure/sweep data as CSV to this file")
+		chart    = flag.Bool("chart", true, "print ASCII charts for sweeps")
+		html     = flag.String("html", "", "also write an HTML report with SVG charts to this file")
 	)
 	flag.Usage = usage
 	flag.Parse()
@@ -44,29 +51,39 @@ func main() {
 		rep = report.New("BCE " + cmd + " report")
 	}
 
+	// Ctrl-C cancels the batch between simulator events; a second
+	// signal kills the process the default way.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	opts := []runner.Option{runner.WithWorkers(*workers)}
+	if *progress {
+		opts = append(opts, runner.WithProgress(printProgress))
+	}
+
 	var err error
 	switch cmd {
 	case "fig1", "fig2", "fig3", "fig4", "fig5", "fig6",
 		"ext-transfer", "ext-fleet", "ext-server":
-		err = runFigure(cmd, sl, *csv, *chart, rep)
+		err = runFigure(ctx, cmd, sl, *csv, *chart, rep, opts)
 	case "figures":
 		for _, id := range []string{"fig1", "fig2", "fig3", "fig4", "fig5", "fig6"} {
-			if err = runFigure(id, sl, "", *chart, rep); err != nil {
+			if err = runFigure(ctx, id, sl, "", *chart, rep, opts); err != nil {
 				break
 			}
 			fmt.Println()
 		}
 	case "extensions":
 		for _, e := range experiments.Extensions() {
-			if err = runFigure(e.ID, sl, "", *chart, rep); err != nil {
+			if err = runFigure(ctx, e.ID, sl, "", *chart, rep, opts); err != nil {
 				break
 			}
 			fmt.Println()
 		}
 	case "compare":
-		err = runCompare(flag.Arg(1), sl, rep)
+		err = runCompare(ctx, flag.Arg(1), sl, rep, opts)
 	case "sweep":
-		err = runSweep(flag.Args()[1:], sl, *csv, *chart, rep)
+		err = runSweep(ctx, flag.Args()[1:], sl, *csv, *chart, rep, opts)
 	default:
 		usage()
 		os.Exit(2)
@@ -77,6 +94,15 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bcectl:", err)
 		os.Exit(1)
+	}
+}
+
+// printProgress rewrites one stderr status line per engine update.
+func printProgress(p runner.Progress) {
+	fmt.Fprintf(os.Stderr, "\r%d/%d runs (%d in flight, %d failed)  %.2e events  %.3g ev/s   ",
+		p.Done, p.Total, p.Started-p.Done, p.Failed, float64(p.Events), p.EventsPerSec())
+	if p.Done == p.Total {
+		fmt.Fprintln(os.Stderr)
 	}
 }
 
@@ -111,26 +137,26 @@ flags:
 	flag.PrintDefaults()
 }
 
-func runFigure(id string, seeds []int64, csvPath string, chart bool, rep *report.Report) error {
+func runFigure(ctx context.Context, id string, seeds []int64, csvPath string, chart bool, rep *report.Report, opts []runner.Option) error {
 	var fig *experiments.Figure
 	var err error
 	switch id {
 	case "fig1":
-		fig, err = experiments.Figure1(seeds)
+		fig, err = experiments.Figure1Context(ctx, seeds, opts...)
 	case "fig2":
 		fig = experiments.Figure2()
 	case "fig3":
-		fig, err = experiments.Figure3(seeds)
+		fig, err = experiments.Figure3Context(ctx, seeds, opts...)
 	case "fig4":
-		fig, err = experiments.Figure4(seeds)
+		fig, err = experiments.Figure4Context(ctx, seeds, opts...)
 	case "fig5":
-		fig, err = experiments.Figure5(seeds)
+		fig, err = experiments.Figure5Context(ctx, seeds, opts...)
 	case "fig6":
-		fig, err = experiments.Figure6(seeds)
+		fig, err = experiments.Figure6Context(ctx, seeds, opts...)
 	default:
 		var ext experiments.Extension
 		if ext, err = experiments.ExtensionByID(id); err == nil {
-			fig, err = ext.Gen(seeds)
+			fig, err = ext.Gen(ctx, seeds, opts...)
 		}
 	}
 	if err != nil {
@@ -231,7 +257,7 @@ func writeFigureCSV(f *experiments.Figure, path string) error {
 
 // runCompare runs every job-sched × job-fetch combination on a
 // user-supplied scenario.
-func runCompare(path string, seeds []int64, rep *report.Report) error {
+func runCompare(ctx context.Context, path string, seeds []int64, rep *report.Report, opts []runner.Option) error {
 	if path == "" {
 		return fmt.Errorf("compare needs a scenario file")
 	}
@@ -259,7 +285,7 @@ func runCompare(path string, seeds []int64, rep *report.Report) error {
 			})
 		}
 	}
-	cmp, err := harness.Compare(variants, seeds)
+	cmp, err := harness.CompareContext(ctx, variants, seeds, opts...)
 	if err != nil {
 		return err
 	}
@@ -272,7 +298,7 @@ func runCompare(path string, seeds []int64, rep *report.Report) error {
 }
 
 // runSweep sweeps one scenario parameter across the given values.
-func runSweep(args []string, seeds []int64, csvPath string, chart bool, rep *report.Report) error {
+func runSweep(ctx context.Context, args []string, seeds []int64, csvPath string, chart bool, rep *report.Report, opts []runner.Option) error {
 	if len(args) < 3 {
 		return fmt.Errorf("sweep needs: scenario.json param v1 v2 ...")
 	}
@@ -326,7 +352,7 @@ func runSweep(args []string, seeds []int64, csvPath string, chart bool, rep *rep
 	if err := set(&probe, xs[0]); err != nil {
 		return err
 	}
-	sw, err := harness.Sweep(param, xs, mk, seeds)
+	sw, err := harness.SweepContext(ctx, param, xs, mk, seeds, opts...)
 	if err != nil {
 		return err
 	}

@@ -13,19 +13,28 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"time"
 
 	"bce/internal/web"
 )
 
 func main() {
 	var (
-		addr = flag.String("addr", "localhost:8080", "listen address")
-		save = flag.String("save", "", "directory to save uploaded scenarios ('' = don't save)")
+		addr    = flag.String("addr", "localhost:8080", "listen address")
+		save    = flag.String("save", "", "directory to save uploaded scenarios ('' = don't save)")
+		timeout = flag.Duration("run-timeout", web.DefaultRunTimeout,
+			"wall-clock cap per emulation (0 = only the request context applies)")
 	)
 	flag.Parse()
 	srv := web.NewServer(*save)
+	srv.RunTimeout = *timeout
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
 	fmt.Printf("bceweb listening on http://%s/\n", *addr)
-	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+	if err := hs.ListenAndServe(); err != nil {
 		fmt.Fprintln(os.Stderr, "bceweb:", err)
 		os.Exit(1)
 	}

@@ -7,9 +7,11 @@
 package client
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
+	"time"
 
 	"bce/internal/account"
 	"bce/internal/fetch"
@@ -222,11 +224,51 @@ func (c *Client) logf(format string, args ...any) {
 }
 
 // Run executes the emulation and returns the figures of merit.
-func (c *Client) Run() (*Result, error) {
+func (c *Client) Run() (*Result, error) { return c.RunContext(context.Background()) }
+
+// Context checks in RunContext happen between batches of simulator
+// events. Event cost varies over four orders of magnitude with the
+// scenario — a job-heavy host can spend ~0.5 s of CPU in a single
+// rr_sim pass — so a fixed batch size cannot both stay off the hot
+// path and keep cancellation prompt. The batch therefore adapts to
+// wall-clock: it doubles while batches finish quickly and shrinks
+// when they run long, keeping check latency near ctxCheckTarget.
+const (
+	ctxCheckTarget    = 100 * time.Millisecond
+	minCtxCheckEvents = 16
+	maxCtxCheckEvents = 65536
+)
+
+// RunContext executes the emulation, honoring ctx between batches of
+// simulator events: when ctx is canceled or times out, the run stops
+// promptly (within roughly ctxCheckTarget, or one event if a single
+// event runs longer) and returns an error wrapping the context's
+// cause (so errors.Is(err, context.Canceled) works). A finished run
+// is never invalidated retroactively — cancellation only affects runs
+// still in progress. The adaptive batching controls only *when* ctx
+// is observed, never the event order, so results stay bit-for-bit
+// deterministic.
+func (c *Client) RunContext(ctx context.Context) (*Result, error) {
 	c.startAvailability()
 	c.availMark = 0
 	c.scheduleTick(0)
-	c.sim.RunUntil(c.cfg.Duration)
+	batch := minCtxCheckEvents
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("client: emulation stopped at t=%.0f s after %d events: %w",
+				c.sim.Now(), c.sim.Fired(), context.Cause(ctx))
+		}
+		start := time.Now()
+		if c.sim.RunUntilN(c.cfg.Duration, batch) < batch {
+			break
+		}
+		switch elapsed := time.Since(start); {
+		case elapsed < ctxCheckTarget/4 && batch < maxCtxCheckEvents:
+			batch *= 2
+		case elapsed > ctxCheckTarget && batch > minCtxCheckEvents:
+			batch /= 2
+		}
+	}
 
 	// Final bookkeeping at the end time.
 	c.advance()

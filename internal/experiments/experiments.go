@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"bce/internal/client"
@@ -15,6 +16,7 @@ import (
 	"bce/internal/job"
 	"bce/internal/project"
 	"bce/internal/rrsim"
+	"bce/internal/runner"
 	"bce/internal/sched"
 )
 
@@ -193,6 +195,12 @@ func Scenario4(jf fetch.PolicyKind, seed int64) client.Config {
 // CPU plus 25% of the GPU, B gets 75% of the GPU. The emulator is run
 // for 10 days and the achieved per-device throughput is reported.
 func Figure1(seeds []int64) (*Figure, error) {
+	return Figure1Context(context.Background(), seeds)
+}
+
+// Figure1Context is Figure1 on the runner engine: the replicated runs
+// execute on the engine's worker pool under ctx.
+func Figure1Context(ctx context.Context, seeds []int64, opts ...runner.Option) (*Figure, error) {
 	fig := &Figure{
 		ID:     "fig1",
 		Title:  "Resource share applies to combined processing resources",
@@ -224,13 +232,11 @@ func Figure1(seeds []int64) (*Figure, error) {
 			Seed:     seed,
 		}
 	}
-	n := 0
-	for _, seed := range seeds {
-		res, err := harness.Run(h(seed))
-		if err != nil {
-			return nil, err
-		}
-		m := res.Metrics
+	agg, err := harness.ReplicateContext(ctx, harness.Variant{Label: "fig1", Make: h}, seeds, opts...)
+	if err != nil {
+		return nil, err
+	}
+	for _, m := range agg.Raw {
 		dur := 10 * 86400.0
 		for p := 0; p < 2; p++ {
 			cpu := m.UsedByProjectType[p][host.CPU] / dur / 1e9
@@ -239,11 +245,10 @@ func Figure1(seeds []int64) (*Figure, error) {
 			fig.Y["GPU"][p] += gpu
 			fig.Y["total"][p] += cpu + gpu
 		}
-		n++
 	}
 	for _, l := range fig.Labels {
 		for i := range fig.Y[l] {
-			fig.Y[l][i] /= float64(n)
+			fig.Y[l][i] /= float64(agg.N)
 		}
 	}
 	return fig, nil
@@ -288,6 +293,11 @@ func Figure2() *Figure {
 // 1's latency bound (1000–2000 s for 1000 s jobs) under JS-WRR,
 // JS-LOCAL and JS-GLOBAL in scenario 1.
 func Figure3(seeds []int64) (*Figure, error) {
+	return Figure3Context(context.Background(), seeds)
+}
+
+// Figure3Context is Figure3 on the runner engine.
+func Figure3Context(ctx context.Context, seeds []int64, opts ...runner.Option) (*Figure, error) {
 	bounds := []float64{1000, 1100, 1200, 1400, 1600, 1800, 2000}
 	variants := func(x float64) []harness.Variant {
 		return []harness.Variant{
@@ -296,7 +306,7 @@ func Figure3(seeds []int64) (*Figure, error) {
 			{Label: "JS-GLOBAL", Make: func(s int64) client.Config { return Scenario1(x, sched.JSGlobal, s) }},
 		}
 	}
-	sweep, err := harness.Sweep("latency_bound", bounds, variants, seeds)
+	sweep, err := harness.SweepContext(ctx, "latency_bound", bounds, variants, seeds, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -320,10 +330,15 @@ func Figure3(seeds []int64) (*Figure, error) {
 // share violation (and idle fraction for context) for JS-LOCAL vs
 // JS-GLOBAL in scenario 2.
 func Figure4(seeds []int64) (*Figure, error) {
-	cmp, err := harness.Compare([]harness.Variant{
+	return Figure4Context(context.Background(), seeds)
+}
+
+// Figure4Context is Figure4 on the runner engine.
+func Figure4Context(ctx context.Context, seeds []int64, opts ...runner.Option) (*Figure, error) {
+	cmp, err := harness.CompareContext(ctx, []harness.Variant{
 		{Label: "JS-LOCAL", Make: func(s int64) client.Config { return Scenario2(sched.JSLocal, s) }},
 		{Label: "JS-GLOBAL", Make: func(s int64) client.Config { return Scenario2(sched.JSGlobal, s) }},
-	}, seeds)
+	}, seeds, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -352,11 +367,16 @@ func Figure4(seeds []int64) (*Figure, error) {
 // plus the JF-SPREAD hybrid (§6.2 "other policy alternatives") between
 // them.
 func Figure5(seeds []int64) (*Figure, error) {
-	cmp, err := harness.Compare([]harness.Variant{
+	return Figure5Context(context.Background(), seeds)
+}
+
+// Figure5Context is Figure5 on the runner engine.
+func Figure5Context(ctx context.Context, seeds []int64, opts ...runner.Option) (*Figure, error) {
+	cmp, err := harness.CompareContext(ctx, []harness.Variant{
 		{Label: "JF-ORIG", Make: func(s int64) client.Config { return Scenario4(fetch.JFOrig, s) }},
 		{Label: "JF-HYSTERESIS", Make: func(s int64) client.Config { return Scenario4(fetch.JFHysteresis, s) }},
 		{Label: "JF-SPREAD", Make: func(s int64) client.Config { return Scenario4(fetch.JFSpread, s) }},
-	}, seeds)
+	}, seeds, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -383,6 +403,11 @@ func Figure5(seeds []int64) (*Figure, error) {
 // Figure6 reproduces "credit-estimate half-life affects resource share
 // violation": share violation vs REC half-life A in scenario 3.
 func Figure6(seeds []int64) (*Figure, error) {
+	return Figure6Context(context.Background(), seeds)
+}
+
+// Figure6Context is Figure6 on the runner engine.
+func Figure6Context(ctx context.Context, seeds []int64, opts ...runner.Option) (*Figure, error) {
 	halfLives := []float64{
 		0.1 * Scenario3LongJobSecs,
 		0.3 * Scenario3LongJobSecs,
@@ -395,7 +420,7 @@ func Figure6(seeds []int64) (*Figure, error) {
 			{Label: "JS-REC", Make: func(s int64) client.Config { return Scenario3(x, s) }},
 		}
 	}
-	sweep, err := harness.Sweep("half_life", halfLives, variants, seeds)
+	sweep, err := harness.SweepContext(ctx, "half_life", halfLives, variants, seeds, opts...)
 	if err != nil {
 		return nil, err
 	}

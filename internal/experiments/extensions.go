@@ -4,6 +4,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"bce/internal/client"
@@ -14,6 +15,7 @@ import (
 	"bce/internal/host"
 	"bce/internal/job"
 	"bce/internal/project"
+	"bce/internal/runner"
 	"bce/internal/transfer"
 )
 
@@ -22,6 +24,11 @@ import (
 // (§6.2 "the order in which files are uploaded and downloaded").
 // Reported value: deadline misses per emulated day, per policy.
 func ExtTransfer(seeds []int64) (*Figure, error) {
+	return ExtTransferContext(context.Background(), seeds)
+}
+
+// ExtTransferContext is ExtTransfer on the runner engine.
+func ExtTransferContext(ctx context.Context, seeds []int64, opts ...runner.Option) (*Figure, error) {
 	mkCfg := func(policy transfer.Policy, seed int64) client.Config {
 		h := host.StdHost(2, 2e9, 0, 0)
 		h.Prefs.MinQueue = 3600
@@ -63,10 +70,10 @@ func ExtTransfer(seeds []int64) (*Figure, error) {
 	}
 	for _, pol := range []transfer.Policy{transfer.FIFO, transfer.SmallestFirst, transfer.EDF} {
 		pol := pol
-		agg, err := harness.Replicate(harness.Variant{
+		agg, err := harness.ReplicateContext(ctx, harness.Variant{
 			Label: pol.String(),
 			Make:  func(s int64) client.Config { return mkCfg(pol, s) },
-		}, seeds)
+		}, seeds, opts...)
 		if err != nil {
 			return nil, err
 		}
@@ -84,6 +91,12 @@ func ExtTransfer(seeds []int64) (*Figure, error) {
 // ExtFleet compares uniform per-host shares against fleet-planned
 // shares (§6.2 "enforcing resource share across a volunteer's hosts").
 func ExtFleet(seeds []int64) (*Figure, error) {
+	return ExtFleetContext(context.Background(), seeds)
+}
+
+// ExtFleetContext is ExtFleet on the runner engine: each fleet
+// evaluation emulates its hosts concurrently.
+func ExtFleetContext(ctx context.Context, seeds []int64, opts ...runner.Option) (*Figure, error) {
 	mkFleet := func() *fleet.Fleet {
 		mk := func(ncpu int, cpuF float64, ngpu int, gpuF float64) *host.Host {
 			h := host.StdHost(ncpu, cpuF, ngpu, gpuF)
@@ -115,7 +128,7 @@ func ExtFleet(seeds []int64) (*Figure, error) {
 	}
 	for _, seed := range seeds {
 		f := mkFleet()
-		uni, err := f.Evaluate(fleet.Uniform(f), 2*86400, seed)
+		uni, err := f.EvaluateContext(ctx, fleet.Uniform(f), 2*86400, seed, opts...)
 		if err != nil {
 			return nil, err
 		}
@@ -123,7 +136,7 @@ func ExtFleet(seeds []int64) (*Figure, error) {
 		if err != nil {
 			return nil, err
 		}
-		opt, err := f.Evaluate(plan, 2*86400, seed)
+		opt, err := f.EvaluateContext(ctx, plan, 2*86400, seed, opts...)
 		if err != nil {
 			return nil, err
 		}
@@ -138,6 +151,13 @@ func ExtFleet(seeds []int64) (*Figure, error) {
 // emulation (the §6.1 complement): validated throughput and waste per
 // replication policy.
 func ExtServer(seeds []int64) (*Figure, error) {
+	return ExtServerContext(context.Background(), seeds)
+}
+
+// ExtServerContext is ExtServer with cancellation between server
+// emulations (the emserver substrate is a single sequential emulation
+// per cell, so ctx is checked at cell boundaries).
+func ExtServerContext(ctx context.Context, seeds []int64, _ ...runner.Option) (*Figure, error) {
 	type combo struct {
 		label          string
 		target, quorum int
@@ -157,6 +177,9 @@ func ExtServer(seeds []int64) (*Figure, error) {
 	for _, c := range combos {
 		var thr, waste, turn float64
 		for _, seed := range seeds {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("experiments: %s stopped: %w", fig.ID, context.Cause(ctx))
+			}
 			st := emserver.Run(emserver.Params{
 				Seed:           seed,
 				NHosts:         150,
@@ -176,18 +199,19 @@ func ExtServer(seeds []int64) (*Figure, error) {
 	return fig, nil
 }
 
-// Extension is the registry entry for an appendix experiment.
+// Extension is the registry entry for an appendix experiment. Gen runs
+// on the runner engine under ctx with the given batch options.
 type Extension struct {
 	ID  string
-	Gen func(seeds []int64) (*Figure, error)
+	Gen func(ctx context.Context, seeds []int64, opts ...runner.Option) (*Figure, error)
 }
 
 // Extensions lists the appendix experiments in order.
 func Extensions() []Extension {
 	return []Extension{
-		{"ext-transfer", ExtTransfer},
-		{"ext-fleet", ExtFleet},
-		{"ext-server", ExtServer},
+		{"ext-transfer", ExtTransferContext},
+		{"ext-fleet", ExtFleetContext},
+		{"ext-server", ExtServerContext},
 	}
 }
 

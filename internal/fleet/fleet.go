@@ -16,6 +16,7 @@
 package fleet
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -24,6 +25,7 @@ import (
 	"bce/internal/host"
 	"bce/internal/metrics"
 	"bce/internal/project"
+	"bce/internal/runner"
 	"bce/internal/sched"
 	"bce/internal/stats"
 )
@@ -243,44 +245,60 @@ type Evaluation struct {
 // Evaluate emulates every host under the plan's shares and aggregates.
 // Hosts not attached to a project (share 0) skip it entirely.
 func (f *Fleet) Evaluate(plan *Plan, duration float64, seed int64) (*Evaluation, error) {
+	return f.EvaluateContext(context.Background(), plan, duration, seed)
+}
+
+// EvaluateContext emulates the fleet's hosts concurrently on the
+// engine's worker pool — one independent emulation per attached host,
+// each with a deterministic per-host seed — and aggregates delivered
+// processing in host order, so the evaluation is identical for any
+// worker count.
+func (f *Fleet) EvaluateContext(ctx context.Context, plan *Plan, duration float64, seed int64, opts ...runner.Option) (*Evaluation, error) {
 	if err := f.Validate(); err != nil {
 		return nil, err
 	}
 	ev := &Evaluation{GlobalUsed: make([]float64, len(f.Projects))}
+	var specs []runner.Spec
+	var projIdx [][]int // batch index -> attached project indices
 	for h := range f.Hosts {
 		// Build this host's project list: only attached projects.
-		var specs []project.Spec
+		var pspecs []project.Spec
 		idx := make([]int, 0, len(f.Projects))
 		for p, spec := range f.Projects {
 			if plan.Shares[h][p] > 1e-9 {
 				s := spec
 				s.Share = plan.Shares[h][p]
-				specs = append(specs, s)
+				pspecs = append(pspecs, s)
 				idx = append(idx, p)
 			}
 		}
-		if len(specs) == 0 {
+		if len(pspecs) == 0 {
 			continue
 		}
-		cfg := client.Config{
-			Host:     f.Hosts[h],
-			Projects: specs,
-			JobSched: sched.JSGlobal, // aggregate accounting matches the plan's model
-			Duration: duration,
-			Seed:     seed + int64(h)*101,
-		}
-		c, err := client.New(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("fleet host %d: %w", h, err)
-		}
-		res, err := c.Run()
-		if err != nil {
-			return nil, err
-		}
-		ev.PerHost = append(ev.PerHost, res.Metrics)
-		for i, p := range idx {
-			ev.GlobalUsed[p] += res.Metrics.UsedByProject[i]
-			ev.Throughput += res.Metrics.UsedByProject[i]
+		h, pspecs := h, pspecs
+		specs = append(specs, runner.Spec{
+			Label: fmt.Sprintf("fleet host %d", h),
+			Make: func() (client.Config, error) {
+				return client.Config{
+					Host:     f.Hosts[h],
+					Projects: pspecs,
+					JobSched: sched.JSGlobal, // aggregate accounting matches the plan's model
+					Duration: duration,
+					Seed:     seed + int64(h)*101,
+				}, nil
+			},
+		})
+		projIdx = append(projIdx, idx)
+	}
+	results, err := runner.Batch(ctx, specs, append(opts, runner.WithFailFast(true))...)
+	if err != nil {
+		return nil, err
+	}
+	for bi, r := range results {
+		ev.PerHost = append(ev.PerHost, r.Result.Metrics)
+		for i, p := range projIdx[bi] {
+			ev.GlobalUsed[p] += r.Result.Metrics.UsedByProject[i]
+			ev.Throughput += r.Result.Metrics.UsedByProject[i]
 		}
 	}
 	var shareSum float64

@@ -5,6 +5,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -13,15 +14,30 @@ import (
 
 	"bce/internal/client"
 	"bce/internal/metrics"
+	"bce/internal/runner"
 	"bce/internal/stats"
 )
 
-// Variant is one policy configuration under test; Make builds a fresh
-// config for the given seed (configs hold live *host.Host pointers, so
-// each run needs its own).
+// Variant is one policy configuration under test. Make MUST build a
+// fresh config on every call: configs hold live *host.Host pointers,
+// and the runner engine executes seeds of one variant concurrently, so
+// two runs sharing host or project state would race. Replicate rejects
+// variants whose Make returns an aliased *host.Host.
 type Variant struct {
 	Label string
 	Make  func(seed int64) client.Config
+}
+
+// checkFresh enforces the Variant contract above: calling Make twice
+// must yield distinct host objects. Catching aliasing here turns a
+// data race into a deterministic error.
+func checkFresh(v Variant, seed int64) error {
+	a, b := v.Make(seed), v.Make(seed)
+	if a.Host != nil && a.Host == b.Host {
+		return fmt.Errorf("harness: variant %q: Make returns a shared *host.Host; "+
+			"each call must build fresh state so runs can execute concurrently", v.Label)
+	}
+	return nil
 }
 
 // Agg aggregates the metrics of replicated runs.
@@ -49,34 +65,70 @@ func (a Agg) MetricByName(name string) float64 {
 
 // Run executes one config and returns its result.
 func Run(cfg client.Config) (*client.Result, error) {
-	c, err := client.New(cfg)
-	if err != nil {
-		return nil, err
-	}
-	return c.Run()
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext executes one config under ctx on the runner engine
+// (panic recovery, cancellation between simulator events).
+func RunContext(ctx context.Context, cfg client.Config) (*client.Result, error) {
+	return runner.Run(ctx, cfg)
 }
 
 // Replicate runs the variant once per seed and aggregates.
 func Replicate(v Variant, seeds []int64) (Agg, error) {
+	return ReplicateContext(context.Background(), v, seeds)
+}
+
+// ReplicateContext runs the variant once per seed on the engine's
+// worker pool and aggregates. Results are accumulated in seed order,
+// so the aggregate is bit-identical to the sequential path for any
+// worker count.
+func ReplicateContext(ctx context.Context, v Variant, seeds []int64, opts ...runner.Option) (Agg, error) {
+	var agg Agg
+	if len(seeds) == 0 {
+		return agg, nil
+	}
+	if err := checkFresh(v, seeds[0]); err != nil {
+		return agg, err
+	}
+	specs := variantSpecs(v, seeds)
+	results, err := runner.Batch(ctx, specs, append(opts, runner.WithFailFast(true))...)
+	if err != nil {
+		return agg, err
+	}
+	return aggregate(results), nil
+}
+
+// variantSpecs fans one variant out across seeds.
+func variantSpecs(v Variant, seeds []int64) []runner.Spec {
+	specs := make([]runner.Spec, len(seeds))
+	for i, seed := range seeds {
+		seed := seed
+		specs[i] = runner.Spec{
+			Label: fmt.Sprintf("%s (seed %d)", v.Label, seed),
+			Make:  func() (client.Config, error) { return v.Make(seed), nil },
+		}
+	}
+	return specs
+}
+
+// aggregate folds completed runs, in batch order, into an Agg.
+func aggregate(results []runner.RunResult) Agg {
 	var agg Agg
 	accs := make([]stats.Mean, 5)
-	for _, seed := range seeds {
-		res, err := Run(v.Make(seed))
-		if err != nil {
-			return agg, fmt.Errorf("%s (seed %d): %w", v.Label, seed, err)
-		}
-		agg.Raw = append(agg.Raw, res.Metrics)
-		agg.Events += res.Events
-		for i, x := range res.Metrics.Values() {
+	for _, r := range results {
+		agg.Raw = append(agg.Raw, r.Result.Metrics)
+		agg.Events += r.Result.Events
+		for i, x := range r.Result.Metrics.Values() {
 			accs[i].Add(x)
 		}
 	}
-	agg.N = len(seeds)
+	agg.N = len(results)
 	for i := range accs {
 		agg.Mean[i] = accs[i].Mean()
 		agg.CI95[i] = accs[i].CI95()
 	}
-	return agg, nil
+	return agg
 }
 
 // Seeds returns n deterministic seeds.
@@ -96,14 +148,34 @@ type Comparison struct {
 
 // Compare replicates every variant over the same seeds.
 func Compare(vs []Variant, seeds []int64) (*Comparison, error) {
+	return CompareContext(context.Background(), vs, seeds)
+}
+
+// CompareContext replicates every variant over the same seeds,
+// flattening all (variant, seed) runs into one batch so the worker
+// pool stays saturated across variant boundaries. Per-variant
+// aggregation happens in (variant, seed) order, so the comparison is
+// bit-identical to the sequential path for any worker count.
+func CompareContext(ctx context.Context, vs []Variant, seeds []int64, opts ...runner.Option) (*Comparison, error) {
 	c := &Comparison{Aggs: make(map[string]Agg)}
-	for _, v := range vs {
-		agg, err := Replicate(v, seeds)
-		if err != nil {
-			return nil, err
+	if len(seeds) > 0 {
+		for _, v := range vs {
+			if err := checkFresh(v, seeds[0]); err != nil {
+				return nil, err
+			}
 		}
+	}
+	var specs []runner.Spec
+	for _, v := range vs {
+		specs = append(specs, variantSpecs(v, seeds)...)
+	}
+	results, err := runner.Batch(ctx, specs, append(opts, runner.WithFailFast(true))...)
+	if err != nil {
+		return nil, err
+	}
+	for vi, v := range vs {
 		c.Variants = append(c.Variants, v.Label)
-		c.Aggs[v.Label] = agg
+		c.Aggs[v.Label] = aggregate(results[vi*len(seeds) : (vi+1)*len(seeds)])
 	}
 	return c, nil
 }
@@ -146,23 +218,51 @@ type SweepResult struct {
 // Sweep runs every variant at every parameter value. The variant's Make
 // receives the seed; mk wraps a parameterised variant constructor.
 func Sweep(param string, xs []float64, mk func(x float64) []Variant, seeds []int64) (*SweepResult, error) {
+	return SweepContext(context.Background(), param, xs, mk, seeds)
+}
+
+// SweepContext runs every variant at every parameter value, flattening
+// all (point, variant, seed) runs into one batch for the worker pool.
+// Aggregation order is fixed, so the sweep is bit-identical to the
+// sequential path for any worker count.
+func SweepContext(ctx context.Context, param string, xs []float64, mk func(x float64) []Variant, seeds []int64, opts ...runner.Option) (*SweepResult, error) {
 	res := &SweepResult{Param: param}
+	var specs []runner.Spec
+	var vsAt [][]Variant
 	for _, x := range xs {
 		vs := mk(x)
 		if res.Variants == nil {
 			for _, v := range vs {
 				res.Variants = append(res.Variants, v.Label)
 			}
-		}
-		pt := SweepPoint{X: x, Aggs: make(map[string]Agg)}
-		for _, v := range vs {
-			agg, err := Replicate(v, seeds)
-			if err != nil {
-				return nil, fmt.Errorf("%s=%v: %w", param, x, err)
+			if len(seeds) > 0 {
+				for _, v := range vs {
+					if err := checkFresh(v, seeds[0]); err != nil {
+						return nil, err
+					}
+				}
 			}
-			pt.Aggs[v.Label] = agg
 		}
-		res.Points = append(res.Points, pt)
+		for _, v := range vs {
+			sp := variantSpecs(v, seeds)
+			for i := range sp {
+				sp[i].Label = fmt.Sprintf("%s=%v: %s", param, x, sp[i].Label)
+			}
+			specs = append(specs, sp...)
+		}
+		res.Points = append(res.Points, SweepPoint{X: x, Aggs: make(map[string]Agg)})
+		vsAt = append(vsAt, vs)
+	}
+	results, err := runner.Batch(ctx, specs, append(opts, runner.WithFailFast(true))...)
+	if err != nil {
+		return nil, err
+	}
+	off := 0
+	for pi := range res.Points {
+		for _, v := range vsAt[pi] {
+			res.Points[pi].Aggs[v.Label] = aggregate(results[off : off+len(seeds)])
+			off += len(seeds)
+		}
 	}
 	return res, nil
 }

@@ -168,3 +168,36 @@ func TestChart(t *testing.T) {
 		t.Fatal("empty chart should say no data")
 	}
 }
+
+// staleVariant reuses one live host across calls — exactly the aliasing
+// bug the fresh-state audit guards against.
+func staleVariant() Variant {
+	shared := tinyConfig(1)
+	return Variant{Label: "stale", Make: func(seed int64) client.Config {
+		cfg := shared
+		cfg.Seed = seed
+		return cfg
+	}}
+}
+
+func TestReplicateRejectsSharedHost(t *testing.T) {
+	if _, err := Replicate(staleVariant(), Seeds(2)); err == nil ||
+		!strings.Contains(err.Error(), "shared *host.Host") {
+		t.Fatalf("want shared-host rejection, got %v", err)
+	}
+}
+
+func TestCompareRejectsSharedHost(t *testing.T) {
+	_, err := Compare([]Variant{tinyVariant("ok"), staleVariant()}, Seeds(2))
+	if err == nil || !strings.Contains(err.Error(), "stale") {
+		t.Fatalf("want shared-host rejection naming the variant, got %v", err)
+	}
+}
+
+func TestVariantMakeBuildsFreshState(t *testing.T) {
+	v := tinyVariant("fresh")
+	a, b := v.Make(1), v.Make(2)
+	if a.Host == b.Host {
+		t.Fatal("tinyVariant reuses its *host.Host across Make calls")
+	}
+}

@@ -1,0 +1,235 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"bce/internal/client"
+	"bce/internal/host"
+	"bce/internal/job"
+	"bce/internal/project"
+)
+
+// tinyConfig is a fast two-project scenario (~a simulated hour).
+func tinyConfig(seed int64, duration float64) client.Config {
+	h := host.StdHost(1, 1e9, 0, 0)
+	h.Prefs.MinQueue = 600
+	h.Prefs.MaxQueue = 1800
+	app := project.AppSpec{
+		Name: "app", Usage: job.Usage{AvgCPUs: 1, MemBytes: 1e8},
+		MeanDuration: 300, LatencyBound: 86400, CheckpointPeriod: 60,
+	}
+	return client.Config{
+		Host: h,
+		Projects: []project.Spec{
+			{Name: "a", Share: 100, Apps: []project.AppSpec{app}},
+			{Name: "b", Share: 100, Apps: []project.AppSpec{app}},
+		},
+		Duration: duration,
+		Seed:     seed,
+	}
+}
+
+func tinySpecs(n int, duration float64) []Spec {
+	specs := make([]Spec, n)
+	for i := range specs {
+		i := i
+		specs[i] = Spec{
+			Label: fmt.Sprintf("run%d", i),
+			Make:  func() (client.Config, error) { return tinyConfig(int64(i+1), duration), nil },
+		}
+	}
+	return specs
+}
+
+// Batch with several workers must produce results bit-identical to the
+// sequential single-worker path, in spec order.
+func TestBatchDeterministicAcrossWorkers(t *testing.T) {
+	specs := tinySpecs(6, 3600)
+	seq, err := Batch(context.Background(), specs, WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Batch(context.Background(), tinySpecs(6, 3600), WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seq {
+		if seq[i].Err != nil || par[i].Err != nil {
+			t.Fatalf("run %d errored: seq=%v par=%v", i, seq[i].Err, par[i].Err)
+		}
+		if par[i].Index != i || par[i].Label != specs[i].Label {
+			t.Fatalf("run %d misindexed: %+v", i, par[i])
+		}
+		if !reflect.DeepEqual(seq[i].Result.Metrics, par[i].Result.Metrics) {
+			t.Errorf("run %d metrics differ between 1 and 4 workers", i)
+		}
+		if seq[i].Result.Events != par[i].Result.Events {
+			t.Errorf("run %d events differ: %d vs %d", i, seq[i].Result.Events, par[i].Result.Events)
+		}
+	}
+}
+
+// The pool must never run more specs at once than WithWorkers allows.
+func TestBatchBoundsConcurrency(t *testing.T) {
+	var mu sync.Mutex
+	inFlight, peak := 0, 0
+	specs := make([]Spec, 8)
+	for i := range specs {
+		i := i
+		specs[i] = Spec{Make: func() (client.Config, error) {
+			mu.Lock()
+			inFlight++
+			if inFlight > peak {
+				peak = inFlight
+			}
+			mu.Unlock()
+			time.Sleep(5 * time.Millisecond)
+			mu.Lock()
+			inFlight--
+			mu.Unlock()
+			return tinyConfig(int64(i), 600), nil
+		}}
+	}
+	if _, err := Batch(context.Background(), specs, WithWorkers(2)); err != nil {
+		t.Fatal(err)
+	}
+	if peak > 2 {
+		t.Fatalf("observed %d concurrent runs with 2 workers", peak)
+	}
+}
+
+// A panicking run must surface as that run's error, not kill the batch.
+func TestBatchRecoversPanics(t *testing.T) {
+	specs := tinySpecs(3, 600)
+	specs[1].Make = func() (client.Config, error) { panic("boom") }
+	results, err := Batch(context.Background(), specs, WithWorkers(2))
+	if err != nil {
+		t.Fatalf("batch error without fail-fast: %v", err)
+	}
+	var pe *PanicError
+	if results[1].Err == nil || !errors.As(results[1].Err, &pe) {
+		t.Fatalf("run 1: want PanicError, got %v", results[1].Err)
+	}
+	if pe.Value != "boom" {
+		t.Errorf("panic value = %v", pe.Value)
+	}
+	for _, i := range []int{0, 2} {
+		if results[i].Err != nil {
+			t.Errorf("run %d should have survived the sibling panic: %v", i, results[i].Err)
+		}
+	}
+}
+
+// Fail-fast must cancel the rest of the batch and report the failure.
+func TestBatchFailFast(t *testing.T) {
+	specs := tinySpecs(16, 3600)
+	specs[0].Make = func() (client.Config, error) { return client.Config{}, fmt.Errorf("bad config") }
+	results, err := Batch(context.Background(), specs, WithWorkers(1), WithFailFast(true))
+	if err == nil || !strings.Contains(err.Error(), "bad config") {
+		t.Fatalf("want fail-fast error mentioning the cause, got %v", err)
+	}
+	skipped := 0
+	for _, r := range results {
+		if errors.Is(r.Err, ErrSkipped) {
+			skipped++
+		}
+	}
+	if skipped == 0 {
+		t.Error("fail-fast should have skipped the queued remainder")
+	}
+}
+
+// Cancelling the batch context stops promptly and marks the remainder.
+func TestBatchCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{}, 64)
+	specs := make([]Spec, 32)
+	for i := range specs {
+		i := i
+		specs[i] = Spec{Make: func() (client.Config, error) {
+			started <- struct{}{}
+			// Long enough that cancellation, not completion, ends it.
+			return tinyConfig(int64(i), 365*86400), nil
+		}}
+	}
+	go func() {
+		<-started
+		cancel()
+	}()
+	begin := time.Now()
+	results, err := Batch(ctx, specs, WithWorkers(2))
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("want wrapped context.Canceled, got %v", err)
+	}
+	if d := time.Since(begin); d > 30*time.Second {
+		t.Fatalf("cancellation took %v; want prompt return", d)
+	}
+	for _, r := range results {
+		if r.Err == nil && r.Result == nil {
+			t.Fatalf("run %d has neither result nor error after cancel", r.Index)
+		}
+	}
+}
+
+// Progress must be monotonic and end with Done == Total.
+func TestBatchProgress(t *testing.T) {
+	var snaps []Progress
+	_, err := Batch(context.Background(), tinySpecs(4, 600),
+		WithWorkers(2), WithProgress(func(p Progress) { snaps = append(snaps, p) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 8 { // one per start + one per finish
+		t.Fatalf("got %d progress snapshots, want 8", len(snaps))
+	}
+	last := Progress{}
+	for _, p := range snaps {
+		if p.Started < last.Started || p.Done < last.Done || p.Events < last.Events {
+			t.Fatalf("progress went backwards: %+v after %+v", p, last)
+		}
+		if p.Total != 4 {
+			t.Fatalf("total = %d", p.Total)
+		}
+		last = p
+	}
+	if last.Done != 4 || last.Failed != 0 || last.Events == 0 {
+		t.Fatalf("final snapshot %+v", last)
+	}
+	if last.RunsPerSec() <= 0 || last.EventsPerSec() <= 0 {
+		t.Errorf("rates not positive: %v runs/s, %v ev/s", last.RunsPerSec(), last.EventsPerSec())
+	}
+}
+
+// DeriveSeed must be stable and collision-free over realistic fan-outs.
+func TestDeriveSeed(t *testing.T) {
+	if DeriveSeed(42, 7) != DeriveSeed(42, 7) {
+		t.Fatal("DeriveSeed not deterministic")
+	}
+	seen := make(map[int64]bool)
+	for _, base := range []int64{0, 1, 42, -9} {
+		for i := 0; i < 10000; i++ {
+			s := DeriveSeed(base, i)
+			if seen[s] {
+				t.Fatalf("seed collision at base=%d i=%d", base, i)
+			}
+			seen[s] = true
+		}
+	}
+}
+
+// Run must honor an already-canceled context without starting.
+func TestRunCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Run(ctx, tinyConfig(1, 365*86400))
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}

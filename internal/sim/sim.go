@@ -142,7 +142,19 @@ func (s *Simulator) Step() bool {
 // then sets the clock to exactly `end`. Events scheduled at exactly
 // `end` do fire.
 func (s *Simulator) RunUntil(end float64) {
-	for len(s.events) > 0 {
+	for s.RunUntilN(end, math.MaxInt) == math.MaxInt {
+	}
+}
+
+// RunUntilN fires at most max events whose time is <= end, advancing
+// the clock, and returns the number fired. A return value below max
+// means the horizon was reached — no events remain at or before end —
+// and the clock has been set to exactly `end`. Callers interleave work
+// between batches of events; the runner engine uses it to poll context
+// cancellation without putting a check on the per-event path.
+func (s *Simulator) RunUntilN(end float64, max int) int {
+	fired := 0
+	for fired < max && len(s.events) > 0 {
 		t := s.events[0]
 		if t.canceled {
 			heap.Pop(&s.events)
@@ -155,10 +167,12 @@ func (s *Simulator) RunUntil(end float64) {
 		s.now = t.at
 		s.nfired++
 		t.fn()
+		fired++
 	}
-	if end > s.now {
+	if fired < max && end > s.now {
 		s.now = end
 	}
+	return fired
 }
 
 // Run fires events until none remain.

@@ -254,3 +254,42 @@ func BenchmarkScheduleAndRun(b *testing.B) {
 		s.Run()
 	}
 }
+
+func TestRunUntilN(t *testing.T) {
+	s := New()
+	fired := 0
+	for i := 1; i <= 10; i++ {
+		s.At(float64(i), func() { fired++ })
+	}
+	if n := s.RunUntilN(20, 3); n != 3 || fired != 3 {
+		t.Fatalf("first batch: n=%d fired=%d, want 3", n, fired)
+	}
+	if s.Now() != 3 {
+		t.Fatalf("clock stopped mid-batch at %v, want 3", s.Now())
+	}
+	// Remaining 7 events fit in the next batch; the clock then advances
+	// to the horizon even though no event sits there.
+	if n := s.RunUntilN(20, 100); n != 7 || fired != 10 {
+		t.Fatalf("second batch: n=%d fired=%d, want 7/10", n, fired)
+	}
+	if s.Now() != 20 {
+		t.Fatalf("Now() = %v, want horizon 20", s.Now())
+	}
+	// An exhausted simulator fires nothing and stays put.
+	if n := s.RunUntilN(20, 100); n != 0 || s.Now() != 20 {
+		t.Fatalf("exhausted: n=%d now=%v", n, s.Now())
+	}
+}
+
+func TestRunUntilNHonorsHorizon(t *testing.T) {
+	s := New()
+	fired := 0
+	s.At(5, func() { fired++ })
+	s.At(15, func() { fired++ })
+	if n := s.RunUntilN(10, 100); n != 1 || fired != 1 {
+		t.Fatalf("n=%d fired=%d, want 1 (event at 15 is past the horizon)", n, fired)
+	}
+	if s.Now() != 10 {
+		t.Fatalf("Now() = %v, want 10", s.Now())
+	}
+}

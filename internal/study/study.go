@@ -11,11 +11,13 @@
 package study
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
-	"bce/internal/harness"
+	"bce/internal/client"
 	"bce/internal/metrics"
+	"bce/internal/runner"
 	"bce/internal/scenario"
 	"bce/internal/stats"
 )
@@ -53,6 +55,25 @@ type Result struct {
 // keeps its own seed and duration; only the policies vary, so the
 // comparison is paired.
 func Run(samples []*scenario.Scenario, combos []Combo) (*Result, error) {
+	return RunContext(context.Background(), samples, combos)
+}
+
+// comboConfig builds the config for one (scenario, combo) cell. It is
+// called once up front for validation and again inside the worker, so
+// every run gets its own fresh host/project state.
+func comboConfig(base *scenario.Scenario, combo Combo) (client.Config, error) {
+	s := *base
+	s.Policies.JobSched = combo.Sched
+	s.Policies.JobFetch = combo.Fetch
+	return s.Config()
+}
+
+// RunContext evaluates every (combo, scenario) cell on the engine's
+// worker pool. Configuration errors abort the study up front;
+// emulation failures are tolerated and counted per combo, exactly like
+// the sequential path. Cell values are collected in (combo, scenario)
+// order, so results are identical for any worker count.
+func RunContext(ctx context.Context, samples []*scenario.Scenario, combos []Combo, opts ...runner.Option) (*Result, error) {
 	if len(samples) == 0 {
 		return nil, fmt.Errorf("study: no scenarios")
 	}
@@ -65,23 +86,33 @@ func Run(samples []*scenario.Scenario, combos []Combo) (*Result, error) {
 		Values:    make(map[Combo][][5]float64),
 		Failed:    make(map[Combo]int),
 	}
+	specs := make([]runner.Spec, 0, len(combos)*len(samples))
 	for _, combo := range combos {
-		vals := make([][5]float64, 0, len(samples))
 		for _, base := range samples {
-			s := *base
-			s.Policies.JobSched = combo.Sched
-			s.Policies.JobFetch = combo.Fetch
-			cfg, err := s.Config()
-			if err != nil {
+			if _, err := comboConfig(base, combo); err != nil {
 				return nil, fmt.Errorf("study: scenario %s with %s: %w", base.Name, combo, err)
 			}
-			r, err := harness.Run(cfg)
-			if err != nil {
+			combo, base := combo, base
+			specs = append(specs, runner.Spec{
+				Label: fmt.Sprintf("%s/%s", base.Name, combo),
+				Make:  func() (client.Config, error) { return comboConfig(base, combo) },
+			})
+		}
+	}
+	results, err := runner.Batch(ctx, specs, opts...)
+	if err != nil {
+		return nil, err
+	}
+	for ci, combo := range combos {
+		vals := make([][5]float64, 0, len(samples))
+		for si := range samples {
+			r := results[ci*len(samples)+si]
+			if r.Err != nil {
 				res.Failed[combo]++
 				vals = append(vals, [5]float64{-1, -1, -1, -1, -1}) // sentinel, excluded below
 				continue
 			}
-			vals = append(vals, r.Metrics.Values())
+			vals = append(vals, r.Result.Metrics.Values())
 		}
 		res.Values[combo] = vals
 	}

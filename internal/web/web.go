@@ -9,6 +9,8 @@ package web
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"fmt"
 	"html/template"
 	"net/http"
@@ -19,8 +21,8 @@ import (
 	"sync"
 	"time"
 
-	"bce/internal/client"
 	"bce/internal/metrics"
+	"bce/internal/runner"
 	"bce/internal/scenario"
 )
 
@@ -30,15 +32,25 @@ type Server struct {
 	SaveDir string
 	MaxDays float64 // cap on emulation length (default 30)
 
+	// RunTimeout caps the wall-clock time of one emulation; the
+	// request context is honored too, so an abandoned HTTP request
+	// stops the emulation instead of burning CPU to completion.
+	// 0 means no server-side cap (the request context still applies).
+	RunTimeout time.Duration
+
 	mu    sync.Mutex
 	runs  int
 	saved int
 }
 
+// DefaultRunTimeout bounds one web-triggered emulation unless the
+// caller overrides RunTimeout.
+const DefaultRunTimeout = 2 * time.Minute
+
 // NewServer returns a web frontend saving uploads to saveDir ("" =
 // don't save).
 func NewServer(saveDir string) *Server {
-	return &Server{SaveDir: saveDir, MaxDays: 30}
+	return &Server{SaveDir: saveDir, MaxDays: 30, RunTimeout: DefaultRunTimeout}
 }
 
 // Handler returns the HTTP handler tree.
@@ -159,14 +171,26 @@ func (s *Server) run(w http.ResponseWriter, r *http.Request) {
 	var log bytes.Buffer
 	cfg.RecordTimeline = true
 	cfg.Log = &log
-	c, err := client.New(cfg)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
+
+	// The emulation runs under the request context: if the volunteer
+	// closes the tab, the run stops at the next event-batch boundary.
+	ctx := r.Context()
+	if s.RunTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.RunTimeout)
+		defer cancel()
 	}
-	res, err := c.Run()
+	res, err := runner.Run(ctx, cfg)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		switch {
+		case r.Context().Err() != nil:
+			// Client is gone; nobody is listening for the response.
+		case errors.Is(err, context.DeadlineExceeded):
+			http.Error(w, fmt.Sprintf("emulation exceeded the server's %v limit; reduce days", s.RunTimeout),
+				http.StatusGatewayTimeout)
+		default:
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
 		return
 	}
 	s.mu.Lock()

@@ -1,6 +1,7 @@
 package web
 
 import (
+	"context"
 	"net/http"
 	"net/http/httptest"
 	"net/url"
@@ -8,6 +9,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 const jsonScenario = `{
@@ -151,5 +153,48 @@ func TestUploadsSaved(t *testing.T) {
 	data, err := os.ReadFile(filepath.Join(dir, entries[0].Name()))
 	if err != nil || !strings.Contains(string(data), "web-test") {
 		t.Fatal("saved upload content wrong")
+	}
+}
+
+// An abandoned request (canceled context) must stop the emulation and
+// write no response body.
+func TestRunAbandonedRequest(t *testing.T) {
+	srv := NewServer("")
+	h := srv.Handler()
+	form := url.Values{"state": {jsonScenario}, "days": {"30"}}
+	req := httptest.NewRequest("POST", "/run", strings.NewReader(form.Encode()))
+	req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+	ctx, cancel := context.WithCancel(req.Context())
+	cancel() // the volunteer closed the tab before the run began
+	rr := httptest.NewRecorder()
+	done := make(chan struct{})
+	go func() {
+		h.ServeHTTP(rr, req.WithContext(ctx))
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("handler kept emulating after the request was abandoned")
+	}
+	if rr.Body.Len() != 0 {
+		t.Fatalf("abandoned request wrote a response: %q", rr.Body.String())
+	}
+	if srv.Runs() != 0 {
+		t.Fatal("abandoned request counted as a completed run")
+	}
+}
+
+// A run that exceeds the server-side wall-clock cap gets a 504.
+func TestRunTimeout(t *testing.T) {
+	srv := NewServer("")
+	srv.MaxDays = 100000
+	srv.RunTimeout = time.Millisecond
+	rr := post(t, srv.Handler(), url.Values{"state": {jsonScenario}, "days": {"100000"}})
+	if rr.Code != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504", rr.Code)
+	}
+	if !strings.Contains(rr.Body.String(), "limit") {
+		t.Fatalf("timeout message missing: %q", rr.Body.String())
 	}
 }
