@@ -39,6 +39,7 @@ type Recorder struct {
 	used          []float64
 	usedByType    [][host.NumProcTypes]float64
 	taskUsage     map[*job.Task]float64
+	taskLost      map[*job.Task]float64
 	wasted        float64
 	lost          float64
 
@@ -59,6 +60,7 @@ func New(hw *host.Hardware, shares []float64, start float64) *Recorder {
 		used:       make([]float64, len(shares)),
 		usedByType: make([][host.NumProcTypes]float64, len(shares)),
 		taskUsage:  make(map[*job.Task]float64),
+		taskLost:   make(map[*job.Task]float64),
 		windows:    make(map[int][]float64),
 	}
 }
@@ -119,19 +121,27 @@ func (r *Recorder) OnRun(t0, t1 float64, tk *job.Task) {
 // past its last checkpoint (or the application never checkpoints).
 func (r *Recorder) OnLostWork(tk *job.Task, seconds float64) {
 	if seconds > 0 {
-		r.lost += seconds * tk.Usage.PeakFLOPS(r.hw)
+		f := seconds * tk.Usage.PeakFLOPS(r.hw)
+		r.lost += f
+		r.taskLost[tk] += f
 	}
 }
 
 // OnComplete records a task finishing execution. All processing done
-// for a deadline-missing task counts as wasted.
+// for a deadline-missing task counts as wasted — except the portion
+// already charged to lost work, which would otherwise be counted twice
+// (once here via the task's usage tally, once via OnLostWork).
 func (r *Recorder) OnComplete(tk *job.Task) {
 	r.completed++
 	if tk.MissedDeadline {
 		r.missed++
-		r.wasted += r.taskUsage[tk]
+		w := r.taskUsage[tk] - r.taskLost[tk]
+		if w > 0 {
+			r.wasted += w
+		}
 	}
 	delete(r.taskUsage, tk)
+	delete(r.taskLost, tk)
 }
 
 // OnRPC records one scheduler RPC.

@@ -83,6 +83,55 @@ func TestLostWorkIsWaste(t *testing.T) {
 	}
 }
 
+// A checkpoint-less job that is preempted (losing its progress) and
+// later misses its deadline executes some FLOPS-seconds exactly once,
+// so they must be wasted exactly once: the lost portion is inside the
+// task's usage tally AND reported via OnLostWork, and must not be
+// summed twice into WastedFLOPSsec.
+func TestPreemptedMissedJobWastedOnce(t *testing.T) {
+	r := New(hw1(), []float64{1}, 0)
+	r.OnAvailable(0, 2000)
+	tk := mkTask(0)
+	tk.MissedDeadline = true
+	// Runs 300 s, is preempted without a checkpoint (all 300 s lost),
+	// then re-executes the full 100+300 = 400 s... keep it simple:
+	// 300 s executed and lost, then 100 s executed to completion.
+	r.OnRun(0, 300, tk)
+	r.OnLostWork(tk, 300)
+	r.OnRun(300, 400, tk)
+	r.OnComplete(tk)
+	m := r.Report()
+	// 400 s executed in total at 1 GFLOPS — all of it waste, once.
+	if m.WastedFLOPSsec != 400e9 {
+		t.Fatalf("WastedFLOPSsec = %v, want 400e9 (counted once)", m.WastedFLOPSsec)
+	}
+	if m.WastedFLOPSsec > m.UsedFLOPSsec {
+		t.Fatalf("wasted %v exceeds used %v", m.WastedFLOPSsec, m.UsedFLOPSsec)
+	}
+	if m.LostFLOPSsec != 300e9 {
+		t.Fatalf("LostFLOPSsec = %v, want 300e9", m.LostFLOPSsec)
+	}
+	if math.Abs(m.WastedFraction-0.2) > 1e-9 {
+		t.Fatalf("wasted fraction = %v, want 400/2000", m.WastedFraction)
+	}
+}
+
+// Lost work on a job that then completes on time is still waste (the
+// re-executed portion was paid for twice), but only the lost portion.
+func TestLostWorkOnTimeJobWastedOnce(t *testing.T) {
+	r := New(hw1(), []float64{1}, 0)
+	r.OnAvailable(0, 2000)
+	tk := mkTask(0)
+	r.OnRun(0, 50, tk)
+	r.OnLostWork(tk, 50)
+	r.OnRun(50, 150, tk) // redo + finish on time
+	r.OnComplete(tk)
+	m := r.Report()
+	if m.WastedFLOPSsec != 50e9 {
+		t.Fatalf("WastedFLOPSsec = %v, want 50e9 (lost portion only)", m.WastedFLOPSsec)
+	}
+}
+
 func TestShareViolationPerfect(t *testing.T) {
 	r := New(hw1(), []float64{1, 1}, 0)
 	r.OnAvailable(0, 1000)
