@@ -180,11 +180,10 @@ func Run(in Input) *Result {
 		if rem[i] > 0 {
 			unfinished++
 		} else {
+			// Already finished at simulation start: it cannot miss its
+			// deadline, however late Now is, so it is never endangered.
 			j.ProjectedFinish = in.Now
-			j.Endangered = in.Now > j.Deadline-in.DeadlineMargin
-			if j.Endangered {
-				res.NumEndangered++
-			}
+			j.Endangered = false
 		}
 	}
 

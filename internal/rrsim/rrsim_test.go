@@ -260,6 +260,26 @@ func TestAlreadyFinishedJob(t *testing.T) {
 	}
 }
 
+// A queue entry that is already finished when the simulation starts
+// cannot miss its deadline, even when Now is past Deadline − margin;
+// counting it endangered inflates NumEndangered and can trigger
+// needless EDF promotion.
+func TestFinishedJobPastDeadlineNotEndangered(t *testing.T) {
+	done := mkJob(0, 1, 0, 100) // finished; deadline long gone
+	live := mkJob(0, 1, 10, 1e9)
+	res := Run(Input{Now: 500, Hardware: cpuHost(1), Shares: []float64{1},
+		DeadlineMargin: 120, Jobs: []*Job{done, live}})
+	if done.Endangered {
+		t.Fatal("finished job past its deadline flagged endangered")
+	}
+	if done.ProjectedFinish != 500 {
+		t.Fatalf("finished job ProjectedFinish = %v, want Now", done.ProjectedFinish)
+	}
+	if live.Endangered || res.NumEndangered != 0 {
+		t.Fatalf("spurious endangered count: %d", res.NumEndangered)
+	}
+}
+
 func TestMultiInstanceJob(t *testing.T) {
 	// A 4-CPU job on a 4-CPU host takes exactly its duration.
 	j := mkJob(0, 4, 100, 1e9)
