@@ -134,6 +134,33 @@ func BenchmarkEmulationDay(b *testing.B) {
 	}
 }
 
+// BenchmarkRRSimJobHeavyFleet measures the emulator on a job-heavy
+// queue: a deep work buffer of short jobs keeps 1000+ tasks queued, so
+// every scheduling point pays the round-robin simulation over the full
+// queue. This is the end-to-end view of internal/rrsim's
+// BenchmarkRRSim/jobheavy (which isolates one simulation pass).
+func BenchmarkRRSimJobHeavyFleet(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := &Scenario{
+			Name: "jobheavy", DurationDays: 0.25, Seed: 1,
+			Host: HostJSON{NCPU: 4, CPUGFlops: 1, MinQueueHours: 36, MaxQueueHours: 48},
+			Projects: []ProjectJSON{
+				{Name: "a", Share: 100, Apps: []AppJSON{{Name: "x", NCPUs: 1, MeanSecs: 600, LatencySecs: 4 * 86400}}},
+				{Name: "b", Share: 100, Apps: []AppJSON{{Name: "y", NCPUs: 1, MeanSecs: 600, LatencySecs: 4 * 86400}}},
+			},
+		}
+		res, err := Run(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(res.Events), "events")
+			b.ReportMetric(float64(res.Metrics.CompletedJobs), "jobs")
+		}
+	}
+}
+
 // BenchmarkRunBatch measures the parallel execution engine on a fixed
 // 16-run workload (one emulated day each) across worker counts. On a
 // multi-core machine the runs/sec metric should scale until the worker

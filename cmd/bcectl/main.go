@@ -17,6 +17,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"syscall"
@@ -31,12 +32,13 @@ import (
 
 func main() {
 	var (
-		seeds    = flag.Int("seeds", 3, "replications per configuration")
-		workers  = flag.Int("workers", runtime.NumCPU(), "concurrent emulation runs")
-		progress = flag.Bool("progress", false, "print live batch progress to stderr")
-		csv      = flag.String("csv", "", "also write figure/sweep data as CSV to this file")
-		chart    = flag.Bool("chart", true, "print ASCII charts for sweeps")
-		html     = flag.String("html", "", "also write an HTML report with SVG charts to this file")
+		seeds      = flag.Int("seeds", 3, "replications per configuration")
+		workers    = flag.Int("workers", runtime.NumCPU(), "concurrent emulation runs")
+		progress   = flag.Bool("progress", false, "print live batch progress to stderr")
+		csv        = flag.String("csv", "", "also write figure/sweep data as CSV to this file")
+		chart      = flag.Bool("chart", true, "print ASCII charts for sweeps")
+		html       = flag.String("html", "", "also write an HTML report with SVG charts to this file")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the whole batch to this file")
 	)
 	flag.Usage = usage
 	flag.Parse()
@@ -45,6 +47,25 @@ func main() {
 		os.Exit(2)
 	}
 	cmd := flag.Arg(0)
+
+	// os.Exit skips deferred calls and a truncated profile is useless,
+	// so every exit path below stops the profile explicitly.
+	stopProfile := func() {}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bcectl:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "bcectl:", err)
+			os.Exit(1)
+		}
+		stopProfile = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+	}
 	sl := harness.Seeds(*seeds)
 	var rep *report.Report
 	if *html != "" {
@@ -86,11 +107,13 @@ func main() {
 		err = runSweep(ctx, flag.Args()[1:], sl, *csv, *chart, rep, opts)
 	default:
 		usage()
+		stopProfile()
 		os.Exit(2)
 	}
 	if err == nil && rep != nil {
 		err = writeReport(rep, *html)
 	}
+	stopProfile()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bcectl:", err)
 		os.Exit(1)

@@ -160,6 +160,43 @@ type Client struct {
 	xfer *transfer.Manager
 
 	onFrac [host.NumProcTypes]float64
+
+	// Round-robin simulation hot-path state: a reusable simulator, the
+	// scratch job slices it reads, and a fingerprint cache that skips
+	// the simulation entirely when the workload is provably unchanged.
+	rr          *rrsim.Simulator
+	rrJobs      []rrsim.Job
+	rrJobPtrs   []*rrsim.Job
+	rrKeys      []rrKey
+	rrCache     rrCache
+	rrCacheOff  bool   // tests: force a fresh simulation every tick
+	rrCacheHits uint64 // tests/observability
+}
+
+// rrKey is the simulation-relevant fingerprint of one queued task: the
+// exact fields NewJob would capture, plus the task's identity. Two
+// scheduling points with equal key sequences would feed rrsim the same
+// workload (every other Input field — hardware, shares, availability,
+// horizons, margin — is fixed for the life of the Client).
+type rrKey struct {
+	task      *job.Task
+	remaining float64
+	deadline  float64
+	instances float64
+	typ       host.ProcType
+	project   int
+}
+
+// rrCache holds the last simulation's inputs and outputs. A hit needs
+// (a) an identical key sequence and (b) now <= validUntil: endangered
+// classification depends on absolute time, so the cached result is only
+// reused while no job's slack can have run out — see rrsimValidUntil.
+type rrCache struct {
+	valid      bool
+	validUntil float64
+	keys       []rrKey
+	res        *rrsim.Result
+	endangered map[*job.Task]bool
 }
 
 // New builds a client for the config.
@@ -178,7 +215,9 @@ func New(cfg Config) (*Client, error) {
 		computeOn: true,
 		gpuOn:     true,
 		netOn:     true,
+		rr:        rrsim.New(),
 	}
+	c.rrCache.endangered = make(map[*job.Task]bool)
 	c.shares = make([]float64, len(cfg.Projects))
 	for i, p := range cfg.Projects {
 		c.shares[i] = p.Share
@@ -518,27 +557,74 @@ func (c *Client) accruesShare(p int, t host.ProcType) bool {
 	return c.servers[p].SuppliesType(t)
 }
 
-// runRRSim runs the round-robin simulation over the current queue.
+// rrsimSlackEpsilon is subtracted from the cache validity bound so that
+// last-ulp differences between a cached projection and a fresh run can
+// never change an endangered verdict. It is far below the 60 s tick
+// granularity, so it costs at most one spurious recomputation.
+const rrsimSlackEpsilon = 1e-3
+
+// runRRSim runs the round-robin simulation over the current queue, or
+// reuses the previous result when the workload fingerprint is unchanged
+// and every job's deadline slack provably still holds (empty-queue and
+// all-waiting stretches hit this path on every tick).
 func (c *Client) runRRSim() (*rrsim.Result, map[*job.Task]bool) {
-	jobs := make([]*rrsim.Job, 0, len(c.tasks))
+	now := c.sim.Now()
+
+	// Fingerprint the queue: exactly what rrsim.NewJob would capture.
+	keys := c.rrKeys[:0]
 	for _, t := range c.tasks {
 		if !t.Finished() {
-			jobs = append(jobs, rrsim.NewJob(t))
+			keys = append(keys, rrKey{
+				task:      t,
+				remaining: t.EstRemaining(),
+				deadline:  t.Deadline,
+				instances: t.Usage.Instances(),
+				typ:       t.Usage.Type(),
+				project:   t.Project,
+			})
 		}
 	}
-	in := rrsim.Input{
-		Now:            c.sim.Now(),
+	c.rrKeys = keys
+
+	if !c.rrCacheOff && c.rrCacheUsable(keys, now) {
+		c.rrCacheHits++
+		return c.rrCache.res, c.rrCache.endangered
+	}
+
+	// Build the job slice in reused scratch storage; rrsim keeps no
+	// references past Run, so the backing arrays live across ticks.
+	if cap(c.rrJobs) < len(keys) {
+		c.rrJobs = make([]rrsim.Job, len(keys))
+		c.rrJobPtrs = make([]*rrsim.Job, len(keys))
+	}
+	c.rrJobs = c.rrJobs[:len(keys)]
+	c.rrJobPtrs = c.rrJobPtrs[:len(keys)]
+	for i, k := range keys {
+		c.rrJobs[i] = rrsim.Job{
+			Task:      k.task,
+			Project:   k.project,
+			Type:      k.typ,
+			Instances: k.instances,
+			Remaining: k.remaining,
+			Deadline:  k.deadline,
+		}
+		c.rrJobPtrs[i] = &c.rrJobs[i]
+	}
+
+	res := c.rr.Run(rrsim.Input{
+		Now:            now,
 		Hardware:       c.hw,
 		Shares:         c.shares,
 		OnFrac:         c.onFrac,
 		HorizonMin:     c.prefs.MinQueue,
 		HorizonMax:     c.prefs.MaxQueue,
 		DeadlineMargin: c.cfg.DeadlineMargin,
-	}
-	in.Jobs = jobs
-	res := rrsim.Run(in)
-	endangered := make(map[*job.Task]bool)
-	for _, j := range jobs {
+		Jobs:           c.rrJobPtrs,
+	})
+
+	endangered := c.rrCache.endangered
+	clear(endangered)
+	for _, j := range c.rrJobPtrs {
 		if j.Endangered {
 			j.Task.DeadlineFlagged = true // latch; see job.Task.DeadlineFlagged
 		}
@@ -546,7 +632,54 @@ func (c *Client) runRRSim() (*rrsim.Result, map[*job.Task]bool) {
 			endangered[j.Task] = true
 		}
 	}
+
+	// Swap the key buffer into the cache (keeping the old one as next
+	// tick's scratch) and compute how long the verdicts stay valid.
+	c.rrCache.keys, c.rrKeys = keys, c.rrCache.keys
+	c.rrCache.res = res
+	c.rrCache.valid = true
+	c.rrCache.validUntil = c.rrsimValidUntil(now)
 	return res, endangered
+}
+
+// rrCacheUsable reports whether the cached simulation answers for the
+// workload fingerprinted by keys at time now.
+func (c *Client) rrCacheUsable(keys []rrKey, now float64) bool {
+	cc := &c.rrCache
+	if !cc.valid || now > cc.validUntil || len(keys) != len(cc.keys) {
+		return false
+	}
+	for i := range keys {
+		if keys[i] != cc.keys[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// rrsimValidUntil bounds how long the just-computed simulation stays
+// valid for an unchanged workload. With identical jobs at a later time
+// t, the simulation's relative dynamics (step lengths, rates, shortfall
+// and SAT integrals) are bit-identical — only absolute finish times
+// shift by t−now. So the one thing that can change is the endangered
+// classification: a non-endangered job j flips once t−now exceeds its
+// slack (Deadline − margin − ProjectedFinish). The cache is therefore
+// valid until the smallest such slack runs out (minus an epsilon that
+// absorbs final-addition round-off); already-endangered jobs only get
+// later, and an empty or never-finishing queue is valid forever.
+func (c *Client) rrsimValidUntil(now float64) float64 {
+	margin := c.cfg.DeadlineMargin
+	until := math.Inf(1)
+	for i := range c.rrJobs {
+		j := &c.rrJobs[i]
+		if j.Endangered {
+			continue
+		}
+		if u := now + (j.Deadline - margin - j.ProjectedFinish) - rrsimSlackEpsilon; u < until {
+			until = u
+		}
+	}
+	return until
 }
 
 // tick is one scheduling pass: advance time, re-run the round-robin

@@ -9,6 +9,10 @@
 // continuously at the rate of the project's share of each processor
 // type, with unused allocation redistributed so devices stay saturated
 // whenever demand exists.
+//
+// The simulation is re-executed at every scheduling point, so it is the
+// emulator's hot path: a Simulator owns all working state and reuses it
+// across calls, making a steady-state Run allocate only its Result.
 package rrsim
 
 import (
@@ -101,23 +105,259 @@ type Result struct {
 
 const maxSteps = 100000
 
+// Simulator executes round-robin simulations, owning all scratch state
+// so repeated Runs do not allocate. A Simulator is not safe for
+// concurrent use; each goroutine (each emulated client) keeps its own.
+type Simulator struct {
+	rem    []float64 // per-job remaining instance-seconds
+	demand []float64 // per-project demand for the type being allocated
+	alloc  []float64 // allocate() output
+	active []bool    // allocate() progressive-filling state
+	seated []seat    // jobs granted capacity in the current step
+
+	// groups[t][p] holds the indices of type-t jobs of project p in
+	// arrival order, so the per-step demand and seating loops visit
+	// exactly the jobs they concern instead of scanning the whole
+	// queue once per project.
+	groups [host.NumProcTypes][][]int32
+}
+
+// seat is one job's capacity grant for the current step.
+type seat struct {
+	job  int32
+	rate float64 // instance-seconds drained per second (> 0)
+}
+
+// New returns an empty Simulator; its buffers grow to fit the largest
+// workload it has seen.
+func New() *Simulator { return &Simulator{} }
+
+// Run executes the round-robin simulation with a throwaway Simulator.
+// Callers on a hot path should keep a Simulator and use its Run method
+// to avoid re-allocating working state every call.
+func Run(in Input) *Result { return New().Run(in) }
+
+// growFloats returns s resized to n entries, reusing its backing array
+// when possible. Contents are unspecified.
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// Run executes the round-robin simulation.
+func (s *Simulator) Run(in Input) *Result {
+	res := &Result{}
+	for t := host.ProcType(0); t < host.NumProcTypes; t++ {
+		if in.OnFrac[t] == 0 {
+			in.OnFrac[t] = 1
+		}
+	}
+	if in.HorizonMax < in.HorizonMin {
+		in.HorizonMax = in.HorizonMin
+	}
+
+	nproj := len(in.Shares)
+	// Remaining work per job in instance-seconds.
+	s.rem = growFloats(s.rem, len(in.Jobs))
+	rem := s.rem
+	unfinished := 0
+	for i, j := range in.Jobs {
+		rem[i] = j.Remaining * j.Instances
+		if rem[i] > 0 {
+			unfinished++
+		} else {
+			// Already finished at simulation start: it cannot miss its
+			// deadline, however late Now is, so it is never endangered.
+			j.ProjectedFinish = in.Now
+			j.Endangered = false
+		}
+	}
+
+	// Index jobs by (type, project). Jobs whose project has no share
+	// entry get no group: they can never run and are classified
+	// endangered at the end, like any other job with no rate.
+	for t := range s.groups {
+		for len(s.groups[t]) < nproj {
+			s.groups[t] = append(s.groups[t], nil)
+		}
+		for p := 0; p < nproj; p++ {
+			s.groups[t][p] = s.groups[t][p][:0]
+		}
+	}
+	for i, j := range in.Jobs {
+		if j.Project >= 0 && j.Project < nproj &&
+			j.Type >= 0 && j.Type < host.NumProcTypes {
+			s.groups[j.Type][j.Project] = append(s.groups[j.Type][j.Project], int32(i))
+		}
+	}
+
+	satOpen := [host.NumProcTypes]bool{}
+	firstStep := true
+	elapsed := 0.0 // sim time since Now
+
+	s.demand = growFloats(s.demand, nproj)
+	demand := s.demand
+
+	for step := 0; step < maxSteps; step++ {
+		// Compute per-project demand and allocation for each type, then
+		// per-job drain rates; track the earliest completion as rates
+		// are assigned, so no separate scan over the queue is needed.
+		var busy [host.NumProcTypes]float64
+		s.seated = s.seated[:0]
+		dt := math.Inf(1)
+		for t := host.ProcType(0); t < host.NumProcTypes; t++ {
+			n := float64(in.Hardware.Proc[t].Count)
+			if n == 0 {
+				continue
+			}
+			groups := s.groups[t]
+			for p := range demand {
+				demand[p] = 0
+				for _, i := range groups[p] {
+					if rem[i] > 0 {
+						demand[p] += in.Jobs[i].Instances
+					}
+				}
+			}
+			alloc := s.allocate(demand, in.Shares, n)
+			for p, a := range alloc {
+				busy[t] += a
+				if a <= 0 {
+					continue
+				}
+				// Seat the project's jobs into its allocated instances
+				// in arrival order; jobs beyond the allocation wait.
+				// Seating deliberately ignores which job happens to be
+				// running right now: a state-dependent seating makes
+				// the endangered classification self-invalidating (the
+				// job the scheduler promotes immediately looks safe and
+				// is demoted again), causing preemption thrash.
+				for _, i := range groups[p] {
+					if a <= 1e-12 {
+						break
+					}
+					if rem[i] <= 0 {
+						continue
+					}
+					r := math.Min(in.Jobs[i].Instances, a)
+					a -= r
+					rate := r * in.OnFrac[t]
+					s.seated = append(s.seated, seat{job: i, rate: rate})
+					if d := rem[i] / rate; d < dt {
+						dt = d
+					}
+				}
+			}
+		}
+
+		if firstStep {
+			for t := host.ProcType(0); t < host.NumProcTypes; t++ {
+				n := float64(in.Hardware.Proc[t].Count)
+				res.IdleNow[t] = math.Max(0, n-busy[t])
+				satOpen[t] = n > 0 && busy[t] >= n-1e-9
+			}
+			firstStep = false
+		}
+
+		// Step length: next job completion (or horizon end if no work).
+		atEnd := false
+		if unfinished == 0 || len(s.seated) == 0 || math.IsInf(dt, 1) {
+			// Nothing can progress: run the clock to the horizon so the
+			// shortfall integral completes, then stop.
+			dt = in.HorizonMax - elapsed
+			atEnd = true
+			if dt <= 0 {
+				break
+			}
+		}
+
+		// Integrate shortfall and saturation over [elapsed, elapsed+dt].
+		for t := host.ProcType(0); t < host.NumProcTypes; t++ {
+			n := float64(in.Hardware.Proc[t].Count)
+			if n == 0 {
+				continue
+			}
+			idle := math.Max(0, n-busy[t])
+			if ov := overlap(elapsed, elapsed+dt, 0, in.HorizonMin); ov > 0 {
+				res.ShortfallMin[t] += idle * ov
+			}
+			if ov := overlap(elapsed, elapsed+dt, 0, in.HorizonMax); ov > 0 {
+				res.ShortfallMax[t] += idle * ov
+			}
+			if satOpen[t] {
+				if busy[t] >= n-1e-9 {
+					res.Saturated[t] += dt
+				} else {
+					satOpen[t] = false
+				}
+			}
+		}
+		if in.Trace {
+			res.Trace = append(res.Trace, TraceStep{
+				Start: in.Now + elapsed, End: in.Now + elapsed + dt, Busy: busy,
+			})
+		}
+
+		// Advance the seated jobs (the only ones with a nonzero rate).
+		for _, st := range s.seated {
+			i := st.job
+			rem[i] -= st.rate * dt
+			if rem[i] <= 1e-9 {
+				rem[i] = 0
+				unfinished--
+				j := in.Jobs[i]
+				j.ProjectedFinish = in.Now + elapsed + dt
+				j.Endangered = j.ProjectedFinish > j.Deadline-in.DeadlineMargin
+				if j.Endangered {
+					res.NumEndangered++
+				}
+			}
+		}
+		elapsed += dt
+		if atEnd {
+			break
+		}
+	}
+
+	// Jobs that never finish (no device, zero rate forever).
+	for i, j := range in.Jobs {
+		if rem[i] > 0 {
+			j.ProjectedFinish = math.Inf(1)
+			j.Endangered = true
+			res.NumEndangered++
+		}
+	}
+	return res
+}
+
 // allocate distributes `total` capacity among demands in proportion to
 // weights, capping each at its demand and redistributing the excess
 // (progressive filling). The returned slice satisfies alloc[i] <=
 // demand[i], sum(alloc) <= total, and sum(alloc) == min(total,
-// sum(demand)) up to round-off.
-func allocate(demand, weight []float64, total float64) []float64 {
+// sum(demand)) up to round-off. It is valid until the next call.
+func (s *Simulator) allocate(demand, weight []float64, total float64) []float64 {
 	n := len(demand)
-	alloc := make([]float64, n)
+	s.alloc = growFloats(s.alloc, n)
+	alloc := s.alloc
+	for i := range alloc {
+		alloc[i] = 0
+	}
 	if total <= 0 {
 		return alloc
 	}
-	active := make([]bool, n)
+	if cap(s.active) < n {
+		s.active = make([]bool, n)
+	}
+	active := s.active[:n]
 	nActive := 0
 	for i := range demand {
 		if demand[i] > 0 && weight[i] > 0 {
 			active[i] = true
 			nActive++
+		} else {
+			active[i] = false
 		}
 	}
 	remaining := total
@@ -157,179 +397,6 @@ func allocate(demand, weight []float64, total float64) []float64 {
 		}
 	}
 	return alloc
-}
-
-// Run executes the round-robin simulation.
-func Run(in Input) *Result {
-	res := &Result{}
-	for t := host.ProcType(0); t < host.NumProcTypes; t++ {
-		if in.OnFrac[t] == 0 {
-			in.OnFrac[t] = 1
-		}
-	}
-	if in.HorizonMax < in.HorizonMin {
-		in.HorizonMax = in.HorizonMin
-	}
-
-	nproj := len(in.Shares)
-	// Remaining work per job in instance-seconds.
-	rem := make([]float64, len(in.Jobs))
-	unfinished := 0
-	for i, j := range in.Jobs {
-		rem[i] = j.Remaining * j.Instances
-		if rem[i] > 0 {
-			unfinished++
-		} else {
-			// Already finished at simulation start: it cannot miss its
-			// deadline, however late Now is, so it is never endangered.
-			j.ProjectedFinish = in.Now
-			j.Endangered = false
-		}
-	}
-
-	satOpen := [host.NumProcTypes]bool{}
-	firstStep := true
-	elapsed := 0.0 // sim time since Now
-
-	demand := make([]float64, nproj)
-	rates := make([]float64, len(in.Jobs))
-
-	for step := 0; step < maxSteps; step++ {
-		// Compute per-project demand and allocation for each type, then
-		// per-job drain rates.
-		var busy [host.NumProcTypes]float64
-		for i := range rates {
-			rates[i] = 0
-		}
-		anyRate := false
-		for t := host.ProcType(0); t < host.NumProcTypes; t++ {
-			n := float64(in.Hardware.Proc[t].Count)
-			if n == 0 {
-				continue
-			}
-			for p := range demand {
-				demand[p] = 0
-			}
-			for i, j := range in.Jobs {
-				if j.Type == t && rem[i] > 0 && j.Project < nproj {
-					demand[j.Project] += j.Instances
-				}
-			}
-			alloc := allocate(demand, in.Shares, n)
-			for p, a := range alloc {
-				busy[t] += a
-				if a <= 0 {
-					continue
-				}
-				// Seat the project's jobs into its allocated instances
-				// in arrival order; jobs beyond the allocation wait.
-				// Seating deliberately ignores which job happens to be
-				// running right now: a state-dependent seating makes
-				// the endangered classification self-invalidating (the
-				// job the scheduler promotes immediately looks safe and
-				// is demoted again), causing preemption thrash.
-				for i, j := range in.Jobs {
-					if a <= 1e-12 {
-						break
-					}
-					if j.Type != t || rem[i] <= 0 || j.Project != p {
-						continue
-					}
-					r := math.Min(j.Instances, a)
-					a -= r
-					rates[i] = r * in.OnFrac[t]
-					anyRate = true
-				}
-			}
-		}
-
-		if firstStep {
-			for t := host.ProcType(0); t < host.NumProcTypes; t++ {
-				n := float64(in.Hardware.Proc[t].Count)
-				res.IdleNow[t] = math.Max(0, n-busy[t])
-				satOpen[t] = n > 0 && busy[t] >= n-1e-9
-			}
-			firstStep = false
-		}
-
-		// Step length: next job completion (or horizon end if no work).
-		dt := math.Inf(1)
-		for i := range in.Jobs {
-			if rem[i] > 0 && rates[i] > 0 {
-				if d := rem[i] / rates[i]; d < dt {
-					dt = d
-				}
-			}
-		}
-		atEnd := false
-		if unfinished == 0 || !anyRate || math.IsInf(dt, 1) {
-			// Nothing can progress: run the clock to the horizon so the
-			// shortfall integral completes, then stop.
-			dt = in.HorizonMax - elapsed
-			atEnd = true
-			if dt <= 0 {
-				break
-			}
-		}
-
-		// Integrate shortfall and saturation over [elapsed, elapsed+dt].
-		for t := host.ProcType(0); t < host.NumProcTypes; t++ {
-			n := float64(in.Hardware.Proc[t].Count)
-			if n == 0 {
-				continue
-			}
-			idle := math.Max(0, n-busy[t])
-			if ov := overlap(elapsed, elapsed+dt, 0, in.HorizonMin); ov > 0 {
-				res.ShortfallMin[t] += idle * ov
-			}
-			if ov := overlap(elapsed, elapsed+dt, 0, in.HorizonMax); ov > 0 {
-				res.ShortfallMax[t] += idle * ov
-			}
-			if satOpen[t] {
-				if busy[t] >= n-1e-9 {
-					res.Saturated[t] += dt
-				} else {
-					satOpen[t] = false
-				}
-			}
-		}
-		if in.Trace {
-			res.Trace = append(res.Trace, TraceStep{
-				Start: in.Now + elapsed, End: in.Now + elapsed + dt, Busy: busy,
-			})
-		}
-
-		// Advance jobs.
-		for i, j := range in.Jobs {
-			if rem[i] <= 0 || rates[i] <= 0 {
-				continue
-			}
-			rem[i] -= rates[i] * dt
-			if rem[i] <= 1e-9 {
-				rem[i] = 0
-				unfinished--
-				j.ProjectedFinish = in.Now + elapsed + dt
-				j.Endangered = j.ProjectedFinish > j.Deadline-in.DeadlineMargin
-				if j.Endangered {
-					res.NumEndangered++
-				}
-			}
-		}
-		elapsed += dt
-		if atEnd {
-			break
-		}
-	}
-
-	// Jobs that never finish (no device, zero rate forever).
-	for i, j := range in.Jobs {
-		if rem[i] > 0 {
-			j.ProjectedFinish = math.Inf(1)
-			j.Endangered = true
-			res.NumEndangered++
-		}
-	}
-	return res
 }
 
 // overlap returns the length of the intersection of [a0,a1] and [b0,b1].

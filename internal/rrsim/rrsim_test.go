@@ -30,6 +30,8 @@ func mixedHost(ncpu, ngpu int) *host.Hardware {
 }
 
 func TestAllocateBasics(t *testing.T) {
+	sim := New()
+	allocate := sim.allocate
 	// Two equal-weight demands that both exceed fair share split evenly.
 	a := allocate([]float64{10, 10}, []float64{1, 1}, 4)
 	if math.Abs(a[0]-2) > 1e-9 || math.Abs(a[1]-2) > 1e-9 {
@@ -53,6 +55,7 @@ func TestAllocateBasics(t *testing.T) {
 }
 
 func TestAllocateProperties(t *testing.T) {
+	sim := New()
 	f := func(d8, w8 [6]uint8, tot uint8) bool {
 		demand := make([]float64, 6)
 		weight := make([]float64, 6)
@@ -63,7 +66,7 @@ func TestAllocateProperties(t *testing.T) {
 			dsum += demand[i]
 		}
 		total := float64(tot) / 10
-		alloc := allocate(demand, weight, total)
+		alloc := sim.allocate(demand, weight, total)
 		var asum float64
 		for i := range alloc {
 			if alloc[i] < -1e-9 || alloc[i] > demand[i]+1e-9 {
@@ -397,29 +400,6 @@ func TestNewJobCapturesTask(t *testing.T) {
 	}
 	if j.Remaining != 150 || j.Deadline != 999 {
 		t.Fatalf("NewJob remaining/deadline wrong: %+v", j)
-	}
-}
-
-func BenchmarkRRSim(b *testing.B) {
-	jobs := make([]*Job, 0, 100)
-	for i := 0; i < 100; i++ {
-		jobs = append(jobs, mkJob(i%10, 1, float64(100+i*37%5000), float64(10000+i*91%20000)))
-	}
-	shares := make([]float64, 10)
-	for i := range shares {
-		shares[i] = float64(i + 1)
-	}
-	in := Input{Hardware: cpuHost(8), Shares: shares, HorizonMin: 8640, HorizonMax: 86400}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		fresh := make([]*Job, len(jobs))
-		for k, j := range jobs {
-			cp := *j
-			fresh[k] = &cp
-		}
-		in.Jobs = fresh
-		Run(in)
 	}
 }
 
