@@ -41,6 +41,10 @@ type Config struct {
 	RECHalfLife float64
 
 	// DeadlineMargin widens the endangered classification (seconds).
+	// The zero value is a sentinel: it selects DefaultDeadlineMargin,
+	// so zero-valued Configs keep the safe default. Any negative value
+	// requests a margin of exactly zero (the paper's bare policy); use
+	// ZeroDeadlineMargin to spell that readably.
 	DeadlineMargin float64
 
 	// RPCDelay is the simulated latency of one scheduler RPC (default 5 s).
@@ -68,6 +72,21 @@ type Config struct {
 	TransferPolicy transfer.Policy
 }
 
+const (
+	// DefaultDeadlineMargin is the endangered-classification safety
+	// margin (seconds) applied when Config.DeadlineMargin is zero: two
+	// scheduling periods, covering the reaction delay between
+	// classification and enforcement plus one checkpoint period of
+	// potentially lost work.
+	DefaultDeadlineMargin = 120
+
+	// ZeroDeadlineMargin is the Config.DeadlineMargin value requesting
+	// a margin of exactly zero seconds (the paper's bare policy); the
+	// literal zero is taken by the backward-compatible default
+	// sentinel. Any negative value behaves the same.
+	ZeroDeadlineMargin = -1
+)
+
 func (c Config) withDefaults() Config {
 	if c.RPCDelay <= 0 {
 		c.RPCDelay = 5
@@ -76,11 +95,7 @@ func (c Config) withDefaults() Config {
 		c.ReportMaxDelay = 3600
 	}
 	if c.DeadlineMargin == 0 {
-		// Default safety margin: two scheduling periods, covering the
-		// reaction delay between classification and enforcement plus
-		// one checkpoint period of potentially lost work. Negative
-		// means "exactly zero margin".
-		c.DeadlineMargin = 120
+		c.DeadlineMargin = DefaultDeadlineMargin
 	} else if c.DeadlineMargin < 0 {
 		c.DeadlineMargin = 0
 	}

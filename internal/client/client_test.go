@@ -65,6 +65,26 @@ func TestValidateConfig(t *testing.T) {
 	}
 }
 
+// TestDeadlineMarginSentinel pins the Config.DeadlineMargin encoding:
+// zero is "use the default", negative is "exactly zero margin", and
+// positive values pass through.
+func TestDeadlineMarginSentinel(t *testing.T) {
+	cases := []struct {
+		in, want float64
+	}{
+		{0, DefaultDeadlineMargin},
+		{ZeroDeadlineMargin, 0},
+		{-300, 0}, // any negative value means exactly zero
+		{60, 60},
+	}
+	for _, tc := range cases {
+		got := (Config{DeadlineMargin: tc.in}).withDefaults().DeadlineMargin
+		if got != tc.want {
+			t.Errorf("DeadlineMargin %v resolved to %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
 func TestSingleProjectKeepsCPUBusy(t *testing.T) {
 	cfg := baseConfig(smallQueueHost(2),
 		project.Spec{Name: "p0", Share: 1, Apps: []project.AppSpec{cpuApp(1000, 86400)}})
