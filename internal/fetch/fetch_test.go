@@ -243,3 +243,134 @@ func TestSpreadName(t *testing.T) {
 		t.Fatal("JF-SPREAD name")
 	}
 }
+
+// TestShareFracEdgeCases drives shareFrac directly through its corner
+// cases: projects with zero share, a nil SuppliesType callback, and no
+// suppliers at all must never contribute to (or produce) a share.
+func TestShareFracEdgeCases(t *testing.T) {
+	cpu := func(t host.ProcType) bool { return t == host.CPU }
+	gpu := func(t host.ProcType) bool { return t == host.NvidiaGPU }
+	cases := []struct {
+		name     string
+		projects []ProjectView
+		p        int
+		want     float64
+	}{
+		{"sole supplier", []ProjectView{{Share: 2, SuppliesType: cpu}}, 0, 1},
+		{"even split counts only suppliers", []ProjectView{
+			{Share: 1, SuppliesType: cpu},
+			{Share: 1, SuppliesType: cpu},
+			{Share: 2, SuppliesType: gpu}, // other type: out of the sum
+		}, 0, 0.5},
+		{"zero-share supplier excluded from sum", []ProjectView{
+			{Share: 3, SuppliesType: cpu},
+			{Share: 0, SuppliesType: cpu},
+		}, 0, 1},
+		{"zero-share project gets zero", []ProjectView{
+			{Share: 3, SuppliesType: cpu},
+			{Share: 0, SuppliesType: cpu},
+		}, 1, 0},
+		{"nil SuppliesType treated as supplies nothing", []ProjectView{
+			{Share: 1, SuppliesType: cpu},
+			{Share: 9, SuppliesType: nil},
+		}, 0, 1},
+		{"no suppliers at all", []ProjectView{
+			{Share: 1, SuppliesType: gpu},
+			{Share: 1, SuppliesType: nil},
+		}, 0, 0},
+	}
+	for _, tc := range cases {
+		in := Input{Projects: tc.projects}
+		if got := shareFrac(in, tc.p, host.CPU); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("%s: shareFrac = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestBestProjectEdgeCases drives bestProject directly: zero-share and
+// nil-Fetchable projects must be skipped even at top priority, and a
+// fully backed-off roster yields no candidate.
+func TestBestProjectEdgeCases(t *testing.T) {
+	yes := func(host.ProcType) bool { return true }
+	no := func(host.ProcType) bool { return false }
+	cases := []struct {
+		name     string
+		projects []ProjectView
+		want     int
+	}{
+		{"empty roster", nil, -1},
+		{"all backed off", []ProjectView{
+			{Share: 1, PrioFetch: 5, Fetchable: no},
+			{Share: 1, PrioFetch: 9, Fetchable: no},
+		}, -1},
+		{"nil Fetchable skipped", []ProjectView{
+			{Share: 1, PrioFetch: 9, Fetchable: nil},
+			{Share: 1, PrioFetch: 1, Fetchable: yes},
+		}, 1},
+		{"zero share skipped despite priority", []ProjectView{
+			{Share: 0, PrioFetch: 9, Fetchable: yes},
+			{Share: 1, PrioFetch: 1, Fetchable: yes},
+		}, 1},
+		{"negative share skipped", []ProjectView{
+			{Share: -1, PrioFetch: 9, Fetchable: yes},
+			{Share: 1, PrioFetch: 1, Fetchable: yes},
+		}, 1},
+		{"highest priority among eligible", []ProjectView{
+			{Share: 1, PrioFetch: 2, Fetchable: yes},
+			{Share: 1, PrioFetch: 7, Fetchable: no},
+			{Share: 1, PrioFetch: 5, Fetchable: yes},
+		}, 2},
+	}
+	for _, tc := range cases {
+		if got := bestProject(Input{Projects: tc.projects}, host.CPU); got != tc.want {
+			t.Errorf("%s: bestProject = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestSpreadDiffersFromOrigAndHysteresis feeds the same rrsim.Result to
+// all three policies and checks JF-SPREAD matches neither: it sizes
+// like JF-ORIG (share slice, but of the max-horizon shortfall) and
+// triggers like JF-HYSTERESIS.
+func TestSpreadDiffersFromOrigAndHysteresis(t *testing.T) {
+	projects := []ProjectView{cpuProject(1, 10), cpuProject(3, 5)}
+
+	// Drained queue: SAT < min_queue, both shortfalls positive. All
+	// three fetch from project 0, but each requests a different amount.
+	in := Input{
+		Hardware: hwCPU(2), RR: rrWith(1000, 4000, 500, 1),
+		MinQueue: 1000, MaxQueue: 2000,
+		Projects: projects,
+	}
+	orig := Decide(JFOrig, in)
+	hyst := Decide(JFHysteresis, in)
+	spread := Decide(JFSpread, in)
+	for name, p := range map[string]Plan{"orig": orig, "hyst": hyst, "spread": spread} {
+		if p.None() || p.Project != 0 {
+			t.Fatalf("%s: plan = %+v, want RPC to project 0", name, p)
+		}
+	}
+	if got := orig.Requests[0].Seconds; math.Abs(got-250) > 1e-9 {
+		t.Errorf("JF-ORIG requested %v, want 250 (¼ of min-horizon 1000)", got)
+	}
+	if got := hyst.Requests[0].Seconds; got != 4000 {
+		t.Errorf("JF-HYSTERESIS requested %v, want 4000 (full max-horizon)", got)
+	}
+	if got := spread.Requests[0].Seconds; math.Abs(got-1000) > 1e-9 {
+		t.Errorf("JF-SPREAD requested %v, want 1000 (¼ of max-horizon 4000)", got)
+	}
+
+	// Saturated-but-leaky queue: SAT ≥ min_queue with positive min
+	// shortfall. JF-ORIG tops up; the hysteresis trigger shared by
+	// JF-HYSTERESIS and JF-SPREAD holds off.
+	in.RR = rrWith(1000, 4000, 1500, 0)
+	if p := Decide(JFOrig, in); p.None() {
+		t.Error("JF-ORIG should top up on min-horizon shortfall")
+	}
+	if p := Decide(JFHysteresis, in); !p.None() {
+		t.Errorf("JF-HYSTERESIS fetched while saturated: %+v", p)
+	}
+	if p := Decide(JFSpread, in); !p.None() {
+		t.Errorf("JF-SPREAD fetched while saturated: %+v", p)
+	}
+}
