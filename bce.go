@@ -82,6 +82,8 @@ type Timeline = timeline.Recorder
 
 // Run emulates the scenario and reports the figures of merit. It is
 // RunContext with a background context.
+//
+//bce:ctxshim
 func Run(s *Scenario) (*Result, error) { return RunContext(context.Background(), s) }
 
 // RunContext emulates the scenario under ctx: cancellation or timeout
@@ -98,6 +100,8 @@ func RunContext(ctx context.Context, s *Scenario) (*Result, error) {
 }
 
 // RunConfig emulates a low-level configuration.
+//
+//bce:ctxshim
 func RunConfig(cfg Config) (*Result, error) {
 	return RunConfigContext(context.Background(), cfg)
 }

@@ -1,0 +1,43 @@
+// Command bcelint runs BCE's determinism-enforcing analyzer suite
+// (internal/analyzers) over the module: nowalltime, seededrand,
+// mapiter and ctxpass. CI runs it as `go run ./cmd/bcelint ./...`; a
+// non-empty report exits 1.
+//
+// Analyzers see only non-test Go files — tests may use wall time and
+// ad-hoc seeded RNGs freely.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bce/internal/analyzers"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: bcelint [packages]\n\n")
+		for _, rule := range analyzers.Suite() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-12s %s\n", rule.Analyzer.Name, rule.Analyzer.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	diags, err := analyzers.RunSuite("", patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bcelint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "bcelint: %d determinism violation(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"math"
 
 	"bce/internal/host"
+	"bce/internal/invariant"
 )
 
 // Accounting converts usage history into priorities. Implementations
@@ -121,10 +122,29 @@ func (l *LocalDebt) Update(now float64, hasWork func(p int, t host.ProcType) boo
 		}
 		mean /= float64(n)
 		for p := range l.shares {
+			if eligible[p] {
+				l.debt[p][t] -= mean
+			}
+		}
+		if invariant.Enabled {
+			// Debt conservation: normalising to zero mean means debt is
+			// only ever redistributed among the eligible projects, never
+			// created or destroyed (clamping below is the one sanctioned
+			// exception, so the check runs before it).
+			var sum, scale float64
+			for p := range l.shares {
+				if eligible[p] {
+					sum += l.debt[p][t]
+					scale += math.Abs(l.debt[p][t])
+				}
+			}
+			invariant.Check(math.Abs(sum) <= 1e-9*(1+scale),
+				"account: type-%v debt not conserved: eligible sum %v after zero-mean normalisation", t, sum)
+		}
+		for p := range l.shares {
 			if !eligible[p] {
 				continue
 			}
-			l.debt[p][t] -= mean
 			if l.debt[p][t] > maxDebtSeconds*ninst {
 				l.debt[p][t] = maxDebtSeconds * ninst
 			} else if l.debt[p][t] < -maxDebtSeconds*ninst {
@@ -205,6 +225,12 @@ func (g *GlobalREC) Charge(now float64, p int, t host.ProcType, instSeconds, flo
 	g.decayTo(now)
 	if p >= 0 && p < len(g.rec) {
 		g.rec[p] += flopsSec
+		if invariant.Enabled {
+			invariant.Check(flopsSec >= 0,
+				"account: negative REC charge %v for project %d", flopsSec, p)
+			invariant.Check(g.rec[p] >= 0 && !math.IsNaN(g.rec[p]) && !math.IsInf(g.rec[p], 0),
+				"account: REC for project %d left range: %v", p, g.rec[p])
+		}
 	}
 }
 

@@ -1,0 +1,135 @@
+// Package analysistest runs an analyzer over a golden package and
+// checks its diagnostics against `// want` annotations, mirroring
+// golang.org/x/tools/go/analysis/analysistest on the standard library
+// alone.
+//
+// An annotation is a trailing comment on the offending line holding
+// one quoted regexp per expected diagnostic:
+//
+//	_ = time.Now() // want `wall-clock time\.Now`
+//	_ = time.Now() // want "time.Now" "second diagnostic on this line"
+//
+// Lines without an annotation must produce no diagnostics; every
+// annotation must be matched. Either direction of drift fails the
+// test, so an analyzer whose diagnostics regress cannot pass its
+// golden suite.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"bce/internal/analyzers"
+)
+
+// wantRe captures the annotation payload; quoted patterns follow.
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+type expectation struct {
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// parseWants scans the golden source files for `// want` annotations,
+// keyed by (file, line).
+func parseWants(t *testing.T, pkg *analyzers.Package) map[token.Position][]*expectation {
+	t.Helper()
+	wants := make(map[token.Position][]*expectation)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := token.Position{Filename: pos.Filename, Line: pos.Line}
+				for _, raw := range splitPatterns(t, pos, m[1]) {
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, raw, err)
+					}
+					wants[key] = append(wants[key], &expectation{re: re, raw: raw})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// splitPatterns parses the space-separated quoted regexps after
+// "want": "a" `b` → [a b].
+func splitPatterns(t *testing.T, pos token.Position, s string) []string {
+	t.Helper()
+	var out []string
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return out
+		}
+		var quote byte
+		switch s[0] {
+		case '"', '`':
+			quote = s[0]
+		default:
+			t.Fatalf("%s: want patterns must be quoted, got %q", pos, s)
+		}
+		end := strings.IndexByte(s[1:], quote)
+		if end < 0 {
+			t.Fatalf("%s: unterminated want pattern %q", pos, s)
+		}
+		lit := s[:end+2]
+		raw, err := strconv.Unquote(lit)
+		if err != nil {
+			t.Fatalf("%s: bad want pattern %s: %v", pos, lit, err)
+		}
+		out = append(out, raw)
+		s = s[end+2:]
+	}
+}
+
+// Run loads the golden package rooted at dir, applies the analyzer,
+// and fails the test on any mismatch between reported diagnostics and
+// `// want` annotations.
+func Run(t *testing.T, a *analyzers.Analyzer, dir string) {
+	t.Helper()
+	pkg, err := analyzers.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("loading golden package %s: %v", dir, err)
+	}
+	diags, err := analyzers.RunAnalyzer(a, pkg)
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+	wants := parseWants(t, pkg)
+	for _, d := range diags {
+		key := token.Position{Filename: d.Pos.Filename, Line: d.Pos.Line}
+		if !claim(wants[key], d.Message) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for key, exps := range wants {
+		for _, exp := range exps {
+			if !exp.matched {
+				t.Errorf("%s: no diagnostic matching %q", fmt.Sprintf("%s:%d", key.Filename, key.Line), exp.raw)
+			}
+		}
+	}
+}
+
+// claim marks the first unmatched expectation whose regexp matches the
+// message, reporting whether one existed.
+func claim(exps []*expectation, message string) bool {
+	for _, exp := range exps {
+		if !exp.matched && exp.re.MatchString(message) {
+			exp.matched = true
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,188 @@
+// Package analyzers is BCE's determinism-enforcing static-analysis
+// suite. It mirrors the golang.org/x/tools/go/analysis API shape on the
+// standard library alone (go/ast + go/types + gc export data via `go
+// list -export`), because the module is intentionally dependency-free.
+//
+// Four analyzers enforce the determinism contract the paper's
+// methodology rests on (see DESIGN.md §10):
+//
+//   - nowalltime: wall-clock time must not leak into the emulation —
+//     sim time comes from the simulated clock.
+//   - seededrand: all randomness flows through seeded generators
+//     (internal/stats.RNG), never the global math/rand state.
+//   - mapiter: core scheduling packages must not range over maps,
+//     whose iteration order is deliberately randomized by the runtime.
+//   - ctxpass: library code threads the caller's context instead of
+//     minting context.Background()/TODO().
+//
+// Escape hatches are directive comments: //bce:wallclock,
+// //bce:unordered and //bce:ctxshim, honored on the flagged line, the
+// line above it, or the enclosing function's doc comment.
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer is one static check, structured like
+// golang.org/x/tools/go/analysis.Analyzer.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// Diagnostic is one reported finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report  func(Diagnostic)
+	markers *markerIndex
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Allowed reports whether the position is covered by the given
+// directive marker (e.g. "wallclock" for //bce:wallclock): a marker
+// comment on the same line, on the line immediately above, or in the
+// doc comment of the enclosing function declaration.
+func (p *Pass) Allowed(marker string, pos token.Pos) bool {
+	if p.markers == nil {
+		p.markers = indexMarkers(p.Fset, p.Files)
+	}
+	where := p.Fset.Position(pos)
+	key := markerKey{file: where.Filename, marker: marker}
+	if lines := p.markers.lines[key]; lines[where.Line] || lines[where.Line-1] {
+		return true
+	}
+	for _, s := range p.markers.funcs[key] {
+		if s.from <= where.Line && where.Line <= s.to {
+			return true
+		}
+	}
+	return false
+}
+
+type markerKey struct {
+	file   string
+	marker string
+}
+
+type lineSpan struct{ from, to int }
+
+type markerIndex struct {
+	lines map[markerKey]map[int]bool
+	funcs map[markerKey][]lineSpan
+}
+
+// markersIn extracts the directive names from one comment group:
+// "//bce:wallclock — profiling" yields ["wallclock"].
+func markersIn(cg *ast.CommentGroup) []string {
+	var out []string
+	if cg == nil {
+		return nil
+	}
+	for _, c := range cg.List {
+		text := strings.TrimPrefix(c.Text, "//")
+		text = strings.TrimPrefix(text, "/*")
+		text, ok := strings.CutPrefix(strings.TrimSpace(text), "bce:")
+		if !ok {
+			continue
+		}
+		name, _, _ := strings.Cut(text, " ")
+		if name = strings.TrimSpace(name); name != "" {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+func indexMarkers(fset *token.FileSet, files []*ast.File) *markerIndex {
+	idx := &markerIndex{
+		lines: make(map[markerKey]map[int]bool),
+		funcs: make(map[markerKey][]lineSpan),
+	}
+	for _, f := range files {
+		fileName := fset.Position(f.Pos()).Filename
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				for _, m := range markersIn(&ast.CommentGroup{List: []*ast.Comment{c}}) {
+					key := markerKey{file: fileName, marker: m}
+					if idx.lines[key] == nil {
+						idx.lines[key] = make(map[int]bool)
+					}
+					idx.lines[key][fset.Position(c.Pos()).Line] = true
+				}
+			}
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			span := lineSpan{
+				from: fset.Position(fd.Pos()).Line,
+				to:   fset.Position(fd.End()).Line,
+			}
+			for _, m := range markersIn(fd.Doc) {
+				key := markerKey{file: fileName, marker: m}
+				idx.funcs[key] = append(idx.funcs[key], span)
+			}
+		}
+	}
+	return idx
+}
+
+// calleeFunc resolves a call expression to the *types.Func it invokes
+// through a selector (pkg.F or recv.M), or nil.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	fn, _ := info.Uses[sel.Sel].(*types.Func)
+	return fn
+}
+
+// isPackageLevel reports whether fn is a package-level function (not a
+// method) of the package with the given import path.
+func isPackageLevel(fn *types.Func, pkgPath string) bool {
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != pkgPath {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// inspect walks every file of the pass in source order.
+func (p *Pass) inspect(visit func(ast.Node) bool) {
+	for _, f := range p.Files {
+		ast.Inspect(f, visit)
+	}
+}

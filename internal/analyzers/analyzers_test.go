@@ -1,0 +1,29 @@
+package analyzers_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"bce/internal/analyzers"
+	"bce/internal/analyzers/analysistest"
+)
+
+func golden(name string) string {
+	return filepath.Join("testdata", "src", name)
+}
+
+func TestNoWallTime(t *testing.T) {
+	analysistest.Run(t, analyzers.NoWallTime, golden("nowalltime"))
+}
+
+func TestSeededRand(t *testing.T) {
+	analysistest.Run(t, analyzers.SeededRand, golden("seededrand"))
+}
+
+func TestMapIter(t *testing.T) {
+	analysistest.Run(t, analyzers.MapIter, golden("mapiter"))
+}
+
+func TestCtxPass(t *testing.T) {
+	analysistest.Run(t, analyzers.CtxPass, golden("ctxpass"))
+}

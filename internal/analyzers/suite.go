@@ -1,0 +1,69 @@
+package analyzers
+
+import "strings"
+
+// Rule pairs an analyzer with the packages it governs. The analyzers
+// themselves are package-agnostic (so the analysistest golden packages
+// exercise them directly); scoping is a driver decision.
+type Rule struct {
+	Analyzer *Analyzer
+	Applies  func(importPath string) bool
+}
+
+// simCorePackages are the packages whose map-iteration order can reach
+// scheduling decisions, floating-point accumulation, or event
+// ordering. Report/chart packages stay out: they must sort for stable
+// *output*, which mapiter's blanket rule would over-approximate.
+var simCorePackages = map[string]bool{
+	"bce/internal/client":   true,
+	"bce/internal/fetch":    true,
+	"bce/internal/rrsim":    true,
+	"bce/internal/sched":    true,
+	"bce/internal/sim":      true,
+	"bce/internal/project":  true,
+	"bce/internal/emserver": true,
+}
+
+// libraryPackage reports whether the import path is library code, as
+// opposed to a main package (cmd/, examples/) that legitimately owns
+// its process: roots like signal-bound contexts or wall-clock
+// timestamps belong there.
+func libraryPackage(importPath string) bool {
+	return !strings.HasPrefix(importPath, "bce/cmd/") &&
+		!strings.HasPrefix(importPath, "bce/examples/")
+}
+
+func everywhere(string) bool { return true }
+
+// Suite returns the determinism rules bcelint and CI enforce.
+func Suite() []Rule {
+	return []Rule{
+		{NoWallTime, libraryPackage},
+		{SeededRand, everywhere},
+		{MapIter, func(path string) bool { return simCorePackages[path] }},
+		{CtxPass, libraryPackage},
+	}
+}
+
+// RunSuite loads the packages matching patterns (from dir) and applies
+// every applicable rule, returning all diagnostics in file order.
+func RunSuite(dir string, patterns []string) ([]Diagnostic, error) {
+	pkgs, err := Load(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		for _, rule := range Suite() {
+			if !rule.Applies(pkg.ImportPath) {
+				continue
+			}
+			diags, err := RunAnalyzer(rule.Analyzer, pkg)
+			if err != nil {
+				return nil, err
+			}
+			all = append(all, diags...)
+		}
+	}
+	return all, nil
+}

@@ -1,0 +1,61 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"bce/internal/analyzers"
+)
+
+// TestRepoCleanUnderSuite is the enforcement point for the determinism
+// contract: the whole module must pass every rule of the suite, so a
+// wall-clock read, global rand draw, unsorted map range in a core
+// package, or fresh context root fails `go test ./...` as well as the
+// dedicated CI bcelint step.
+func TestRepoCleanUnderSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes the go command to load and type-check the module")
+	}
+	diags, err := analyzers.RunSuite("", []string{"bce/..."})
+	if err != nil {
+		t.Fatalf("running suite: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}
+
+// TestSuiteScope pins the driver's package scoping so a refactor
+// cannot silently drop a rule from the packages it guards.
+func TestSuiteScope(t *testing.T) {
+	rules := make(map[string]func(string) bool)
+	for _, r := range analyzers.Suite() {
+		rules[r.Analyzer.Name] = r.Applies
+	}
+	if len(rules) != 4 {
+		t.Fatalf("suite has %d rules, want 4", len(rules))
+	}
+	cases := []struct {
+		analyzer string
+		path     string
+		want     bool
+	}{
+		{"nowalltime", "bce/internal/client", true},
+		{"nowalltime", "bce/internal/web", true},
+		{"nowalltime", "bce/cmd/bcectl", false},
+		{"nowalltime", "bce/examples/quickstart", false},
+		{"seededrand", "bce/cmd/bcectl", true},
+		{"seededrand", "bce/internal/stats", true},
+		{"mapiter", "bce/internal/client", true},
+		{"mapiter", "bce/internal/rrsim", true},
+		{"mapiter", "bce/internal/report", false},
+		{"mapiter", "bce/internal/metrics", false},
+		{"ctxpass", "bce", true},
+		{"ctxpass", "bce/internal/harness", true},
+		{"ctxpass", "bce/cmd/bce", false},
+	}
+	for _, c := range cases {
+		if got := rules[c.analyzer](c.path); got != c.want {
+			t.Errorf("%s applies to %s = %v, want %v", c.analyzer, c.path, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,24 @@
+// Package a is the ctxpass golden package: fresh context roots are
+// flagged; threading a caller's context and //bce:ctxshim-marked
+// compatibility wrappers are not.
+package a
+
+import "context"
+
+func bad() context.Context {
+	ctx := context.Background() // want `context\.Background\(\) severs`
+	_ = context.TODO()          // want `context\.TODO\(\) severs`
+	return ctx
+}
+
+// Run is the context-free compatibility wrapper around RunContext.
+//
+//bce:ctxshim
+func Run() error { return RunContext(context.Background()) }
+
+// RunContext threads the caller's context; derived contexts are fine.
+func RunContext(ctx context.Context) error {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	return ctx.Err()
+}

@@ -1,0 +1,52 @@
+// Package a is the mapiter golden package: ranging over maps (named
+// or literal types) is flagged; slices, strings, channels, and
+// //bce:unordered-annotated loops are not.
+package a
+
+import "sort"
+
+type registry map[string]float64
+
+func bad(m map[string]int, r registry) float64 {
+	var sum float64
+	for _, v := range r { // want `range over map`
+		sum += v
+	}
+	for k := range m { // want `range over map`
+		_ = k
+	}
+	return sum
+}
+
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { //bce:unordered collecting keys to sort below
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// minValue computes a pure min over a set.
+//
+//bce:unordered
+func minValue(r registry) float64 {
+	best := 0.0
+	for _, v := range r {
+		if v < best {
+			best = v
+		}
+	}
+	return best
+}
+
+func otherRanges(xs []int, s string, ch chan int, n int) {
+	for range xs {
+	}
+	for range s {
+	}
+	for range ch {
+	}
+	for range n {
+	}
+}

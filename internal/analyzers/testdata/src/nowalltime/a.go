@@ -1,0 +1,37 @@
+// Package a is the nowalltime golden package: flagged wall-clock
+// reads, the three //bce:wallclock allowlist placements, and benign
+// time-package calls.
+package a
+
+import "time"
+
+func bad() {
+	_ = time.Now()          // want `wall-clock time\.Now`
+	time.Sleep(time.Second) // want `wall-clock time\.Sleep`
+	start := time.Now()     // want `wall-clock time\.Now`
+	_ = time.Since(start)   // want `wall-clock time\.Since`
+}
+
+func allowedSameLine() {
+	_ = time.Now() //bce:wallclock profiling hook
+}
+
+func allowedLineAbove() {
+	//bce:wallclock upload timestamp
+	_ = time.Now()
+}
+
+// allowedByDoc measures host time deliberately; the directive in the
+// doc comment covers the whole function.
+//
+//bce:wallclock
+func allowedByDoc() time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}
+
+func benign() time.Time {
+	after := time.After // a value reference, not a wall-clock read we police
+	_ = after
+	return time.Date(2011, 5, 20, 0, 0, 0, 0, time.UTC)
+}

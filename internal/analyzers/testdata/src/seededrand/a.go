@@ -1,0 +1,29 @@
+// Package a is the seededrand golden package: global draws from both
+// math/rand generations are flagged; explicitly seeded generators and
+// their methods are not.
+package a
+
+import (
+	mrand "math/rand"
+	"math/rand/v2"
+)
+
+func bad() {
+	_ = mrand.Intn(10)                  // want `global math/rand\.Intn`
+	_ = mrand.Float64()                 // want `global math/rand\.Float64`
+	mrand.Shuffle(3, func(i, j int) {}) // want `global math/rand\.Shuffle`
+	_ = rand.IntN(10)                   // want `global math/rand/v2\.IntN`
+	_ = rand.Float64()                  // want `global math/rand/v2\.Float64`
+}
+
+func seeded() {
+	r := mrand.New(mrand.NewSource(42))
+	_ = r.Intn(10)
+	_ = r.Perm(3)
+	z := mrand.NewZipf(r, 1.1, 1, 100)
+	_ = z.Uint64()
+	p := rand.New(rand.NewPCG(1, 2))
+	_ = p.IntN(10)
+	c := rand.New(rand.NewChaCha8([32]byte{}))
+	_ = c.Uint64()
+}

@@ -278,6 +278,8 @@ func (c *Client) logf(format string, args ...any) {
 }
 
 // Run executes the emulation and returns the figures of merit.
+//
+//bce:ctxshim
 func (c *Client) Run() (*Result, error) { return c.RunContext(context.Background()) }
 
 // Context checks in RunContext happen between batches of simulator
@@ -312,11 +314,11 @@ func (c *Client) RunContext(ctx context.Context) (*Result, error) {
 			return nil, fmt.Errorf("client: emulation stopped at t=%.0f s after %d events: %w",
 				c.sim.Now(), c.sim.Fired(), context.Cause(ctx))
 		}
-		start := time.Now()
+		start := time.Now() //bce:wallclock adaptive ctx-check batching measures host time, never sim state
 		if c.sim.RunUntilN(c.cfg.Duration, batch) < batch {
 			break
 		}
-		switch elapsed := time.Since(start); {
+		switch elapsed := time.Since(start); { //bce:wallclock
 		case elapsed < ctxCheckTarget/4 && batch < maxCtxCheckEvents:
 			batch *= 2
 		case elapsed > ctxCheckTarget && batch > minCtxCheckEvents:
@@ -738,7 +740,7 @@ func (c *Client) tick() {
 
 	// Next completion wakes us exactly on time.
 	next := c.prefs.CPUSchedPeriod
-	for t := range c.running { // min over a set: order-independent
+	for t := range c.running { //bce:unordered min over a set: order-independent
 		if r := t.Remaining(); r < next {
 			next = r
 		}

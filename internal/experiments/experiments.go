@@ -194,6 +194,8 @@ func Scenario4(jf fetch.PolicyKind, seed int64) client.Config {
 // with equal shares should each receive 15 GFLOPS — A gets 100% of the
 // CPU plus 25% of the GPU, B gets 75% of the GPU. The emulator is run
 // for 10 days and the achieved per-device throughput is reported.
+//
+//bce:ctxshim
 func Figure1(seeds []int64) (*Figure, error) {
 	return Figure1Context(context.Background(), seeds)
 }
@@ -292,6 +294,8 @@ func Figure2() *Figure {
 // deadlines wastes less processing time": wasted fraction vs project
 // 1's latency bound (1000–2000 s for 1000 s jobs) under JS-WRR,
 // JS-LOCAL and JS-GLOBAL in scenario 1.
+//
+//bce:ctxshim
 func Figure3(seeds []int64) (*Figure, error) {
 	return Figure3Context(context.Background(), seeds)
 }
@@ -329,6 +333,8 @@ func Figure3Context(ctx context.Context, seeds []int64, opts ...runner.Option) (
 // Figure4 reproduces "global accounting reduces share violation":
 // share violation (and idle fraction for context) for JS-LOCAL vs
 // JS-GLOBAL in scenario 2.
+//
+//bce:ctxshim
 func Figure4(seeds []int64) (*Figure, error) {
 	return Figure4Context(context.Background(), seeds)
 }
@@ -366,6 +372,8 @@ func Figure4Context(ctx context.Context, seeds []int64, opts ...runner.Option) (
 // RPCs/job and monotony for JF-ORIG vs JF-HYSTERESIS in scenario 4,
 // plus the JF-SPREAD hybrid (§6.2 "other policy alternatives") between
 // them.
+//
+//bce:ctxshim
 func Figure5(seeds []int64) (*Figure, error) {
 	return Figure5Context(context.Background(), seeds)
 }
@@ -402,6 +410,8 @@ func Figure5Context(ctx context.Context, seeds []int64, opts ...runner.Option) (
 
 // Figure6 reproduces "credit-estimate half-life affects resource share
 // violation": share violation vs REC half-life A in scenario 3.
+//
+//bce:ctxshim
 func Figure6(seeds []int64) (*Figure, error) {
 	return Figure6Context(context.Background(), seeds)
 }

@@ -23,6 +23,8 @@ import (
 // slow-link host running urgent big-input jobs next to bulk ones
 // (§6.2 "the order in which files are uploaded and downloaded").
 // Reported value: deadline misses per emulated day, per policy.
+//
+//bce:ctxshim
 func ExtTransfer(seeds []int64) (*Figure, error) {
 	return ExtTransferContext(context.Background(), seeds)
 }
@@ -90,6 +92,8 @@ func ExtTransferContext(ctx context.Context, seeds []int64, opts ...runner.Optio
 
 // ExtFleet compares uniform per-host shares against fleet-planned
 // shares (§6.2 "enforcing resource share across a volunteer's hosts").
+//
+//bce:ctxshim
 func ExtFleet(seeds []int64) (*Figure, error) {
 	return ExtFleetContext(context.Background(), seeds)
 }
@@ -150,6 +154,8 @@ func ExtFleetContext(ctx context.Context, seeds []int64, opts ...runner.Option) 
 // ExtServer sweeps the replication level of the EmBOINC-style server
 // emulation (the §6.1 complement): validated throughput and waste per
 // replication policy.
+//
+//bce:ctxshim
 func ExtServer(seeds []int64) (*Figure, error) {
 	return ExtServerContext(context.Background(), seeds)
 }

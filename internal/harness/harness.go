@@ -64,6 +64,8 @@ func (a Agg) MetricByName(name string) float64 {
 }
 
 // Run executes one config and returns its result.
+//
+//bce:ctxshim
 func Run(cfg client.Config) (*client.Result, error) {
 	return RunContext(context.Background(), cfg)
 }
@@ -75,6 +77,8 @@ func RunContext(ctx context.Context, cfg client.Config) (*client.Result, error) 
 }
 
 // Replicate runs the variant once per seed and aggregates.
+//
+//bce:ctxshim
 func Replicate(v Variant, seeds []int64) (Agg, error) {
 	return ReplicateContext(context.Background(), v, seeds)
 }
@@ -147,6 +151,8 @@ type Comparison struct {
 }
 
 // Compare replicates every variant over the same seeds.
+//
+//bce:ctxshim
 func Compare(vs []Variant, seeds []int64) (*Comparison, error) {
 	return CompareContext(context.Background(), vs, seeds)
 }
@@ -217,6 +223,8 @@ type SweepResult struct {
 
 // Sweep runs every variant at every parameter value. The variant's Make
 // receives the seed; mk wraps a parameterised variant constructor.
+//
+//bce:ctxshim
 func Sweep(param string, xs []float64, mk func(x float64) []Variant, seeds []int64) (*SweepResult, error) {
 	return SweepContext(context.Background(), param, xs, mk, seeds)
 }

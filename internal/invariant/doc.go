@@ -1,0 +1,23 @@
+// Package invariant provides build-tag-gated runtime assertions for the
+// core emulation invariants: non-negative remaining work, monotone
+// simulated time, debt/REC conservation, and round-robin seat counts
+// bounded by device counts.
+//
+// By default the package compiles to no-ops: Enabled is the constant
+// false, so call sites written as
+//
+//	if invariant.Enabled {
+//		invariant.Check(cond, "explanation %v", detail)
+//	}
+//
+// are eliminated at compile time and cost nothing on the hot path (the
+// guard keeps the varargs from ever being evaluated). Building with
+//
+//	go test -tags bceinvariants ./...
+//
+// turns the checks on; a violated invariant panics with a message
+// prefixed "bce: invariant violated", pinpointing the broken contract
+// at the moment it breaks rather than as a corrupted figure of merit
+// three policy layers later. CI runs the full test suite once with the
+// tag enabled (see .github/workflows/ci.yml).
+package invariant

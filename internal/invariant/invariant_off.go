@@ -1,0 +1,11 @@
+//go:build !bceinvariants
+
+package invariant
+
+// Enabled reports whether invariant checks are compiled in. It is a
+// constant so `if invariant.Enabled { ... }` blocks vanish entirely
+// from default builds.
+const Enabled = false
+
+// Check is a no-op without the bceinvariants build tag.
+func Check(cond bool, format string, args ...any) {}

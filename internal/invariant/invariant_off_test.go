@@ -1,0 +1,13 @@
+//go:build !bceinvariants
+
+package invariant
+
+import "testing"
+
+func TestCheckDisabledByDefault(t *testing.T) {
+	if Enabled {
+		t.Fatal("Enabled must be false without -tags bceinvariants")
+	}
+	// A violated condition must be a no-op in default builds.
+	Check(false, "ignored %d", 1)
+}

@@ -1,0 +1,19 @@
+//go:build bceinvariants
+
+package invariant
+
+import "fmt"
+
+// Enabled reports whether invariant checks are compiled in. It is a
+// constant so `if invariant.Enabled { ... }` blocks vanish entirely
+// from default builds.
+const Enabled = true
+
+// Check panics if cond is false. Callers must wrap calls in
+// `if invariant.Enabled { ... }` so argument evaluation is free when
+// the build tag is off.
+func Check(cond bool, format string, args ...any) {
+	if !cond {
+		panic(fmt.Sprintf("bce: invariant violated: "+format, args...))
+	}
+}

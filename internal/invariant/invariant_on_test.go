@@ -1,0 +1,29 @@
+//go:build bceinvariants
+
+package invariant
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCheckViolationPanics(t *testing.T) {
+	if !Enabled {
+		t.Fatal("Enabled must be true under -tags bceinvariants")
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Check(false, ...) did not panic")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "bce: invariant violated: work -3 below 0") {
+			t.Fatalf("unexpected panic payload %v", r)
+		}
+	}()
+	Check(false, "work %d below %d", -3, 0)
+}
+
+func TestCheckHoldsQuietly(t *testing.T) {
+	Check(true, "never shown")
+}

@@ -1,0 +1,39 @@
+//go:build bceinvariants
+
+package job
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAdvanceTripsNegativeWorkInvariant corrupts a task the way an
+// accounting bug would (completed work driven negative) and proves the
+// bceinvariants build actually fires the assertion instead of carrying
+// the corruption forward into the figures of merit.
+func TestAdvanceTripsNegativeWorkInvariant(t *testing.T) {
+	task := &Task{Name: "corrupt", State: Running, Duration: 100, EstDuration: 100, Work: -5}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Advance on a negative-work task did not trip the invariant")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "bce: invariant violated") ||
+			!strings.Contains(msg, "negative completed work") {
+			t.Fatalf("unexpected panic payload %v", r)
+		}
+	}()
+	task.Advance(1, 10)
+}
+
+// TestAdvanceHealthyTaskPassesInvariants runs a well-formed task to
+// completion under the invariant build: the checks must stay silent.
+func TestAdvanceHealthyTaskPassesInvariants(t *testing.T) {
+	task := &Task{Name: "ok", State: Running, Duration: 10, EstDuration: 10, CheckpointPeriod: 3, Deadline: 100}
+	for i := 0; i < 10; i++ {
+		if done := task.Advance(1, float64(i+1)); done != (i == 9) {
+			t.Fatalf("step %d: done = %v", i, done)
+		}
+	}
+}

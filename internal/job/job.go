@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"bce/internal/host"
+	"bce/internal/invariant"
 )
 
 // State is a task's lifecycle state on the client.
@@ -211,6 +212,12 @@ func (t *Task) Advance(dt float64, now float64) bool {
 		return false
 	}
 	t.Work += dt
+	if invariant.Enabled {
+		invariant.Check(t.Work >= 0,
+			"job %s: negative completed work %v after advancing %v", t.Name, t.Work, dt)
+		invariant.Check(t.Work <= t.Duration+dt,
+			"job %s: work %v overran duration %v by more than the step %v", t.Name, t.Work, t.Duration, dt)
+	}
 	if t.CheckpointPeriod > 0 {
 		// Checkpoints happen every CheckpointPeriod seconds of
 		// execution; progress saved is the last boundary crossed.
@@ -229,6 +236,10 @@ func (t *Task) Advance(dt float64, now float64) bool {
 			t.MissedDeadline = true
 		}
 		return true
+	}
+	if invariant.Enabled {
+		invariant.Check(t.Checkpointed <= t.Work,
+			"job %s: checkpoint %v ahead of work %v", t.Name, t.Checkpointed, t.Work)
 	}
 	return false
 }

@@ -19,6 +19,7 @@ import (
 	"math"
 
 	"bce/internal/host"
+	"bce/internal/invariant"
 	"bce/internal/job"
 )
 
@@ -250,6 +251,13 @@ func (s *Simulator) Run(in Input) *Result {
 					}
 				}
 			}
+			if invariant.Enabled {
+				// Progressive filling may never seat more instances than
+				// the device has: alloc caps at demand and sum(alloc) at
+				// the instance count.
+				invariant.Check(busy[t] <= n+1e-9,
+					"rrsim: seated %v instances of %v on %v devices", busy[t], t, n)
+			}
 		}
 
 		if firstStep {
@@ -300,6 +308,10 @@ func (s *Simulator) Run(in Input) *Result {
 			})
 		}
 
+		if invariant.Enabled {
+			invariant.Check(dt >= 0 && !math.IsNaN(dt),
+				"rrsim: non-monotone step %v at elapsed %v", dt, elapsed)
+		}
 		// Advance the seated jobs (the only ones with a nonzero rate).
 		for _, st := range s.seated {
 			i := st.job

@@ -178,13 +178,13 @@ func Batch(ctx context.Context, specs []Spec, opts ...Option) ([]RunResult, erro
 		results[i] = RunResult{Index: i, Label: specs[i].Label}
 	}
 
-	start := time.Now()
+	start := time.Now() //bce:wallclock progress reporting shows real elapsed time
 	var mu sync.Mutex
 	prog := Progress{Total: len(specs)}
 	emit := func() { // callers hold mu
 		if o.progress != nil {
 			p := prog
-			p.Elapsed = time.Since(start)
+			p.Elapsed = time.Since(start) //bce:wallclock
 			o.progress(p)
 		}
 	}

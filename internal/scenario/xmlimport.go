@@ -11,9 +11,17 @@ import (
 	"encoding/xml"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strings"
 )
+
+// finitePos reports whether x is a finite positive number. State files
+// are untrusted input; NaN/Inf would sail through the `<= 0` style
+// validation checks downstream and poison every figure of merit.
+func finitePos(x float64) bool {
+	return !math.IsNaN(x) && !math.IsInf(x, 0) && x > 0
+}
 
 type xmlClientState struct {
 	XMLName  xml.Name        `xml:"client_state"`
@@ -92,8 +100,11 @@ func ImportClientState(r io.Reader) (*Scenario, error) {
 	if err := dec.Decode(&cs); err != nil {
 		return nil, fmt.Errorf("client_state: %w", err)
 	}
-	if cs.HostInfo.NCPUs <= 0 || cs.HostInfo.FPOps <= 0 {
+	if cs.HostInfo.NCPUs <= 0 || !finitePos(cs.HostInfo.FPOps) {
 		return nil, fmt.Errorf("client_state: missing or invalid <host_info>")
+	}
+	if m := cs.HostInfo.MemSize; m != 0 && !finitePos(m) {
+		return nil, fmt.Errorf("client_state: invalid <m_nbytes> %v", m)
 	}
 	if len(cs.Projects) == 0 {
 		return nil, fmt.Errorf("client_state: no <project> entries")
@@ -107,18 +118,31 @@ func ImportClientState(r io.Reader) (*Scenario, error) {
 			MemGB:     cs.HostInfo.MemSize / 1e9,
 		},
 	}
-	if cs.HostInfo.Coprocs.Cuda.Count > 0 {
-		s.Host.NGPU = cs.HostInfo.Coprocs.Cuda.Count
-		s.Host.GPUGFlops = cs.HostInfo.Coprocs.Cuda.PeakFlops / float64(cs.HostInfo.Coprocs.Cuda.Count) / 1e9
+	// A coprocessor with a nonsensical peak speed is dropped rather
+	// than rejected: the import is best-effort and the host still works
+	// as a CPU-only machine.
+	if gpu := cs.HostInfo.Coprocs.Cuda; gpu.Count > 0 && finitePos(gpu.PeakFlops) {
+		s.Host.NGPU = gpu.Count
+		s.Host.GPUGFlops = gpu.PeakFlops / float64(gpu.Count) / 1e9
 		s.Host.GPUKind = "nvidia"
-	} else if cs.HostInfo.Coprocs.Ati.Count > 0 {
-		s.Host.NGPU = cs.HostInfo.Coprocs.Ati.Count
-		s.Host.GPUGFlops = cs.HostInfo.Coprocs.Ati.PeakFlops / float64(cs.HostInfo.Coprocs.Ati.Count) / 1e9
+	} else if gpu := cs.HostInfo.Coprocs.Ati; gpu.Count > 0 && finitePos(gpu.PeakFlops) {
+		s.Host.NGPU = gpu.Count
+		s.Host.GPUGFlops = gpu.PeakFlops / float64(gpu.Count) / 1e9
 		s.Host.GPUKind = "ati"
 	}
-	if cs.Prefs.WorkBufMinDays > 0 {
-		s.Host.MinQueueHours = cs.Prefs.WorkBufMinDays * 24
-		s.Host.MaxQueueHours = (cs.Prefs.WorkBufMinDays + cs.Prefs.WorkBufAdditionalDays) * 24
+	if finitePos(cs.Prefs.WorkBufMinDays) {
+		extra := cs.Prefs.WorkBufAdditionalDays
+		if !finitePos(extra) {
+			extra = 0
+		}
+		lo := cs.Prefs.WorkBufMinDays * 24
+		hi := (cs.Prefs.WorkBufMinDays + extra) * 24
+		// Guard the products, not just the inputs: a finite day count
+		// near MaxFloat64 still overflows to +Inf when scaled.
+		if finitePos(lo) && finitePos(hi) {
+			s.Host.MinQueueHours = lo
+			s.Host.MaxQueueHours = hi
+		}
 	}
 	s.Host.LeaveInMemory = cs.Prefs.LeaveAppsInMemory != 0
 
@@ -148,15 +172,15 @@ func ImportClientState(r io.Reader) (*Scenario, error) {
 		}
 		av, hasAV := apps[wu.AppName]
 		flops := av.Flops
-		if flops <= 0 {
+		if !finitePos(flops) {
 			flops = cs.HostInfo.FPOps
 		}
 		dur := wu.FPOpsEst / flops
-		if dur <= 0 {
+		if !finitePos(dur) {
 			continue
 		}
 		lat := res.ReportDeadline - res.ReceivedTime
-		if lat <= 0 {
+		if !finitePos(lat) {
 			lat = dur * 10
 		}
 		pm := byProject[res.ProjectURL]
@@ -178,7 +202,7 @@ func ImportClientState(r io.Reader) (*Scenario, error) {
 			Name:  projectLabel(p),
 			Share: p.ResourceShare,
 		}
-		if pj.Share <= 0 {
+		if !finitePos(pj.Share) {
 			pj.Share = 100
 		}
 		pm := byProject[p.MasterURL]
@@ -197,10 +221,10 @@ func ImportClientState(r io.Reader) (*Scenario, error) {
 				LatencySecs: median(st.latencies),
 			}
 			if st.hasAV {
-				if st.av.AvgNCPUs > 0 {
+				if finitePos(st.av.AvgNCPUs) {
 					app.NCPUs = st.av.AvgNCPUs
 				}
-				if st.av.Coproc.Count > 0 {
+				if finitePos(st.av.Coproc.Count) {
 					app.NGPUs = st.av.Coproc.Count
 					switch strings.ToUpper(st.av.Coproc.Type) {
 					case "ATI", "CAL", "AMD":

@@ -1,0 +1,72 @@
+package scenario
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzImportClientState feeds arbitrary bytes to the client_state.xml
+// importer. The contract under test: ImportClientState never panics,
+// and whenever it accepts the input, the resulting scenario builds a
+// valid config whose numbers are all finite — malformed XML, truncated
+// documents, and absurd durations/shares (NaN, Inf, negatives) must be
+// rejected or sanitised, never imported verbatim.
+func FuzzImportClientState(f *testing.F) {
+	f.Add(sampleXML)
+	f.Add("")
+	f.Add("not xml at all")
+	f.Add("<client_state></client_state>")
+	f.Add("<client_state><host_info><p_ncpus>4</p_ncpus><p_fpops>2.5e9")
+	f.Add(`<client_state>
+  <host_info><p_ncpus>1</p_ncpus><p_fpops>NaN</p_fpops><m_nbytes>-Inf</m_nbytes></host_info>
+  <project><master_url>http://x/</master_url><resource_share>NaN</resource_share></project>
+</client_state>`)
+	f.Add(`<client_state>
+  <host_info><p_ncpus>2</p_ncpus><p_fpops>1e9</p_fpops>
+    <coprocs><coproc_cuda><count>3</count><peak_flops>Inf</peak_flops></coproc_cuda></coprocs>
+  </host_info>
+  <global_preferences><work_buf_min_days>Inf</work_buf_min_days></global_preferences>
+  <project><master_url>http://x/</master_url><resource_share>-50</resource_share></project>
+  <app_version><app_name>a</app_name><avg_ncpus>Inf</avg_ncpus><flops>0</flops></app_version>
+  <workunit><name>w</name><app_name>a</app_name><rsc_fpops_est>1e308</rsc_fpops_est></workunit>
+  <result><name>r</name><wu_name>w</wu_name><project_url>http://x/</project_url>
+    <received_time>1e308</received_time><report_deadline>-1e308</report_deadline></result>
+</client_state>`)
+
+	f.Fuzz(func(t *testing.T, data string) {
+		s, err := ImportClientState(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		cfg, err := s.Config()
+		if err != nil {
+			t.Fatalf("accepted scenario fails Config(): %v\ninput: %q", err, data)
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("accepted scenario builds invalid config: %v\ninput: %q", err, data)
+		}
+		checkFinite := func(name string, v float64) {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("accepted scenario has non-finite %s = %v\ninput: %q", name, v, data)
+			}
+		}
+		checkFinite("CPUGFlops", s.Host.CPUGFlops)
+		checkFinite("GPUGFlops", s.Host.GPUGFlops)
+		checkFinite("MemGB", s.Host.MemGB)
+		checkFinite("MinQueueHours", s.Host.MinQueueHours)
+		checkFinite("MaxQueueHours", s.Host.MaxQueueHours)
+		for _, p := range s.Projects {
+			checkFinite("Share", p.Share)
+			if p.Share <= 0 {
+				t.Fatalf("accepted scenario has non-positive share %v\ninput: %q", p.Share, data)
+			}
+			for _, a := range p.Apps {
+				checkFinite("MeanSecs", a.MeanSecs)
+				checkFinite("LatencySecs", a.LatencySecs)
+				checkFinite("NCPUs", a.NCPUs)
+				checkFinite("NGPUs", a.NGPUs)
+			}
+		}
+	})
+}

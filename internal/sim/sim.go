@@ -9,6 +9,8 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+
+	"bce/internal/invariant"
 )
 
 // Timer is a handle to a scheduled event. It can be cancelled; cancelling
@@ -130,6 +132,10 @@ func (s *Simulator) Step() bool {
 		if t.canceled {
 			continue
 		}
+		if invariant.Enabled {
+			invariant.Check(t.at >= s.now && !math.IsNaN(t.at),
+				"sim: time must be monotone: next event at %v, now %v", t.at, s.now)
+		}
 		s.now = t.at
 		s.nfired++
 		t.fn()
@@ -164,6 +170,10 @@ func (s *Simulator) RunUntilN(end float64, max int) int {
 			break
 		}
 		heap.Pop(&s.events)
+		if invariant.Enabled {
+			invariant.Check(t.at >= s.now && !math.IsNaN(t.at),
+				"sim: time must be monotone: next event at %v, now %v", t.at, s.now)
+		}
 		s.now = t.at
 		s.nfired++
 		t.fn()

@@ -54,6 +54,8 @@ type Result struct {
 // Run evaluates the combos over the sampled scenarios. Each scenario
 // keeps its own seed and duration; only the policies vary, so the
 // comparison is paired.
+//
+//bce:ctxshim
 func Run(samples []*scenario.Scenario, combos []Combo) (*Result, error) {
 	return RunContext(context.Background(), samples, combos)
 }

@@ -52,8 +52,16 @@ func (r *Recorder) Stop(now float64, task string) {
 }
 
 // CloseAll closes every open segment at time now (end of emulation).
+// Closing happens in sorted task order: map order would append the
+// final segments to Segments differently run to run, making the
+// rendered ASCII/SVG text order-unstable.
 func (r *Recorder) CloseAll(now float64) {
+	tasks := make([]string, 0, len(r.open))
 	for task := range r.open {
+		tasks = append(tasks, task)
+	}
+	sort.Strings(tasks)
+	for _, task := range tasks {
 		r.Stop(now, task)
 	}
 }
@@ -124,7 +132,14 @@ func (r *Recorder) SVG(width, laneHeight int) string {
 	}
 	lanes := map[host.ProcType]*lane{}
 	segs := append([]Segment(nil), r.Segments...)
-	sort.Slice(segs, func(i, j int) bool { return segs[i].Start < segs[j].Start })
+	// Tie-break equal starts by task name so the emitted SVG text is
+	// byte-stable regardless of recording order.
+	sort.Slice(segs, func(i, j int) bool {
+		if segs[i].Start != segs[j].Start {
+			return segs[i].Start < segs[j].Start
+		}
+		return segs[i].Task < segs[j].Task
+	})
 	rowOf := make([]int, len(segs))
 	for i, s := range segs {
 		l := lanes[s.Type]

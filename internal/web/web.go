@@ -254,6 +254,7 @@ func (s *Server) save(state string) {
 	s.saved++
 	n := s.saved
 	s.mu.Unlock()
+	//bce:wallclock uploaded state files are stamped with real receipt time
 	name := fmt.Sprintf("upload_%s_%04d.txt", time.Now().UTC().Format("20060102T150405"), n)
 	_ = os.MkdirAll(s.SaveDir, 0o755)
 	_ = os.WriteFile(filepath.Join(s.SaveDir, name), []byte(state), 0o644)
