@@ -5,6 +5,7 @@
 //	bcectl figures                         regenerate all figures
 //	bcectl compare scenario.json           all policy combinations on one scenario
 //	bcectl sweep   scenario.json           sweep a scenario parameter
+//	bcectl study -n 1000                   streaming Monte-Carlo population study
 //
 // Figure output is a table plus an ASCII chart; -csv writes the series
 // as CSV to a file.
@@ -105,6 +106,8 @@ func main() {
 		err = runCompare(ctx, flag.Arg(1), sl, rep, opts)
 	case "sweep":
 		err = runSweep(ctx, flag.Args()[1:], sl, *csv, *chart, rep, opts)
+	case "study":
+		err = runStudy(ctx, flag.Args()[1:], *progress, rep, opts)
 	default:
 		usage()
 		stopProfile()
@@ -154,6 +157,9 @@ func usage() {
                                    sweep a scenario parameter
                                    (param: min_queue_hours, max_queue_hours,
                                     rec_half_life, duration_days)
+  bcectl [flags] study [study flags]
+                                   streaming population study with
+                                   checkpoint/resume (study -h for flags)
 
 flags:
 `)

@@ -1,0 +1,131 @@
+// The study subcommand: a streaming Monte-Carlo population study
+// (paper §6.2) with checkpoint/resume. Unlike compare/sweep, which
+// keep every run's metrics, study folds each (scenario, policy) cell
+// into constant-size aggregates, so -n can be large.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"bce/internal/population"
+	"bce/internal/report"
+	"bce/internal/runner"
+	"bce/internal/scenario"
+)
+
+func runStudy(ctx context.Context, args []string, progress bool, rep *report.Report, opts []runner.Option) error {
+	fs := flag.NewFlagSet("study", flag.ContinueOnError)
+	var (
+		n          = fs.Int("n", 100, "number of scenarios to sample")
+		seed       = fs.Int64("seed", 1, "base seed for the scenario population")
+		days       = fs.Float64("days", 1, "emulated duration of each scenario, days")
+		batch      = fs.Int("batch", 0, "scenarios per engine batch (0 = default)")
+		checkpoint = fs.String("checkpoint", "", "write an aggregate checkpoint to this file")
+		every      = fs.Int("every", 1, "checkpoint every N batches")
+		resume     = fs.String("resume", "", "resume from this checkpoint file (overrides population flags)")
+		combosFlag = fs.String("combos", "", "comma-separated sched/fetch pairs (default: the paper's matrix)")
+		maxProj    = fs.Int("max-projects", 0, "cap on projects per scenario (0 = default)")
+		gpuFrac    = fs.Float64("gpu-frac", -1, "fraction of hosts with a GPU (-1 = default)")
+		sporFrac   = fs.Float64("sporadic-frac", -1, "fraction of hosts with sporadic availability (-1 = default)")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: bcectl [flags] study [study flags]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	nSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "n" {
+			nSet = true
+		}
+	})
+
+	p := population.Params{
+		Scenarios: *n,
+		Seed:      *seed,
+		Population: scenario.PopulationParams{
+			DurationDays: *days,
+			MaxProjects:  *maxProj,
+		},
+		BatchSize:       *batch,
+		CheckpointPath:  *checkpoint,
+		CheckpointEvery: *every,
+	}
+	if *gpuFrac >= 0 {
+		p.Population.GPUFraction = scenario.Frac(*gpuFrac)
+	}
+	if *sporFrac >= 0 {
+		p.Population.SporadicFrac = scenario.Frac(*sporFrac)
+	}
+	if *combosFlag != "" {
+		combos, err := parseCombos(*combosFlag)
+		if err != nil {
+			return err
+		}
+		p.Combos = combos
+	}
+	if progress {
+		p.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\rstudy: %d/%d scenarios   ", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+
+	var st *population.Study
+	var err error
+	if *resume != "" {
+		if !nSet {
+			// Keep the checkpoint's own target: a bare -resume finishes
+			// the interrupted study; only an explicit -n extends it.
+			p.Scenarios = 0
+		}
+		st, err = population.Resume(ctx, *resume, p, opts...)
+	} else {
+		st, err = population.Run(ctx, p, opts...)
+	}
+	if err != nil {
+		if st != nil && st.Done > 0 && (*checkpoint != "" || *resume != "") {
+			ck := *checkpoint
+			if ck == "" {
+				ck = *resume
+			}
+			fmt.Fprintf(os.Stderr, "study interrupted at %d/%d scenarios; resume with: bcectl study -resume %s\n",
+				st.Done, st.Target, ck)
+		}
+		return err
+	}
+
+	fmt.Printf("population study: %d scenarios, seed %d\n\n", st.Done, st.Seed)
+	fmt.Print(st.Table())
+	fmt.Println()
+	fmt.Print(st.QuantileTable(2)) // share_violation
+	fmt.Println()
+	fmt.Print(st.WinsTable(2))
+	fmt.Println()
+	fmt.Print(st.WinsTable(4)) // rpcs_per_job
+	if rep != nil {
+		rep.AddPopulation(fmt.Sprintf("Population study (%d scenarios)", st.Done), st)
+	}
+	return nil
+}
+
+// parseCombos parses "JS-LOCAL/JF-ORIG,JS-WRR/JF-HYSTERESIS".
+func parseCombos(s string) ([]population.Combo, error) {
+	var combos []population.Combo
+	for _, part := range strings.Split(s, ",") {
+		sched, fetch, ok := strings.Cut(strings.TrimSpace(part), "/")
+		if !ok || sched == "" || fetch == "" {
+			return nil, fmt.Errorf("bad combo %q: want SCHED/FETCH", part)
+		}
+		combos = append(combos, population.Combo{Sched: sched, Fetch: fetch})
+	}
+	return combos, nil
+}

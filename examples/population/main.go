@@ -52,5 +52,6 @@ func main() {
 		}
 		fmt.Println()
 	}
-	fmt.Println("\n(population means; see cmd/scengen -study for the full tool)")
+	fmt.Println("\n(population means; see scengen -study for small studies, or")
+	fmt.Println(" bcectl study for large checkpointed ones)")
 }

@@ -158,9 +158,23 @@ func Optimize(f *Fleet) (*Plan, error) {
 	}
 	for _, r := range pools {
 		// Distribute this pool in proportion to positive remaining
-		// deficits of its eligible projects; if none remain in deficit,
-		// fall back to global share proportions (the capacity must go
-		// somewhere — idle devices help nobody).
+		// deficits of its eligible projects, capping each grant at the
+		// remaining deficit; any surplus beyond the summed deficits (and
+		// pools with no project in deficit) falls back to global share
+		// proportions (the capacity must go somewhere — idle devices
+		// help nobody).
+		byShares := func(amount float64) {
+			var ss float64
+			for _, p := range r.eligible {
+				ss += f.Projects[p].Share
+			}
+			if ss <= 0 {
+				return
+			}
+			for _, p := range r.eligible {
+				alloc[r.host][p] += amount * f.Projects[p].Share / ss
+			}
+		}
 		var defSum float64
 		for _, p := range r.eligible {
 			if deficit[p] > 0 {
@@ -168,22 +182,20 @@ func Optimize(f *Fleet) (*Plan, error) {
 			}
 		}
 		if defSum > 1e-9 {
+			grant := math.Min(r.capacity, defSum)
 			for _, p := range r.eligible {
 				if deficit[p] <= 0 {
 					continue
 				}
-				a := r.capacity * deficit[p] / defSum
+				a := grant * deficit[p] / defSum
 				alloc[r.host][p] += a
 				deficit[p] -= a
 			}
+			if leftover := r.capacity - grant; leftover > 1e-9 {
+				byShares(leftover)
+			}
 		} else {
-			var ss float64
-			for _, p := range r.eligible {
-				ss += f.Projects[p].Share
-			}
-			for _, p := range r.eligible {
-				alloc[r.host][p] += r.capacity * f.Projects[p].Share / ss
-			}
+			byShares(r.capacity)
 		}
 	}
 
@@ -286,7 +298,10 @@ func (f *Fleet) EvaluateContext(ctx context.Context, plan *Plan, duration float6
 					Projects: pspecs,
 					JobSched: sched.JSGlobal, // aggregate accounting matches the plan's model
 					Duration: duration,
-					Seed:     seed + int64(h)*101,
+					// Per-host seeds go through the engine's seed
+					// derivation: seed+h*101 collides across
+					// evaluations whose base seeds differ by 101.
+					Seed: runner.DeriveSeed(seed, h),
 				}, nil
 			},
 		})

@@ -147,6 +147,99 @@ func TestOptimizeFigure1Geometry(t *testing.T) {
 	}
 }
 
+// Regression: when a pool's capacity exceeded the summed positive
+// deficits, the proportional split granted each in-deficit project more
+// than its deficit and the whole surplus landed on those projects;
+// grants are now capped at the remaining deficit and the leftover
+// spills to the share-proportional fallback.
+func TestOptimizeSurplusSpillsToShares(t *testing.T) {
+	// A (share 300): CPU + NVIDIA apps. B (100): CPU only. C (100): ATI
+	// only. Pools in planning order: ATI 10 GF {C}, NVIDIA 120 GF {A},
+	// CPU 100 GF {A,B}, CPU 170 GF {A,B}. C's remaining deficit is
+	// stranded after its only pool, so the last CPU pool has 70 GF of
+	// surplus beyond A+B's deficits, which must split 3:1 by share.
+	a := project.Spec{
+		Name: "A", Share: 300,
+		Apps: []project.AppSpec{
+			cpuProject("x", 1).Apps[0],
+			gpuProject("y", 1).Apps[0],
+		},
+	}
+	c := project.Spec{
+		Name: "C", Share: 100,
+		Apps: []project.AppSpec{{
+			Name: "ati", Usage: job.Usage{AvgCPUs: 0.2, GPUType: host.AtiGPU, GPUUsage: 1},
+			MeanDuration: 500, LatencyBound: 864000, CheckpointPeriod: 60,
+		}},
+	}
+	h0 := smallHost(1, 170e9, 1, 120e9)
+	h1 := smallHost(1, 100e9, 0, 0)
+	h1.Hardware.Proc[host.AtiGPU] = host.Resource{Count: 1, FLOPSPerInst: 10e9}
+	f := &Fleet{
+		Hosts:    []*host.Host{h0, h1},
+		Projects: []project.Spec{a, cpuProject("B", 100), c},
+	}
+	plan, err := Optimize(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tot := make([]float64, 3)
+	for h := range plan.Alloc {
+		for p, v := range plan.Alloc[h] {
+			tot[p] += v
+		}
+	}
+	want := []float64{292.5e9, 97.5e9, 10e9}
+	for p := range want {
+		if math.Abs(tot[p]-want[p]) > 1 {
+			t.Fatalf("project %d allocated %v, want %v (all: %v)", p, tot[p], want[p], tot)
+		}
+	}
+	// The reachable split must follow shares exactly: A:B = 3.
+	if r := tot[0] / tot[1]; math.Abs(r-3) > 1e-9 {
+		t.Fatalf("A:B ratio %v, want 3 (surplus must spill by shares)", r)
+	}
+}
+
+// Regression: per-host seeds were derived as seed + h*101, so two
+// evaluations whose base seeds differ by 101 reused each other's
+// per-host RNG streams (evaluation A's host 1 == evaluation B's host
+// 0). With DeriveSeed the streams decorrelate.
+func TestEvaluateSeedsDoNotCollideAcrossEvaluations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("emulation-heavy")
+	}
+	// Two identical hosts, so a seed collision reproduces the exact
+	// same emulation on the shifted evaluation. Randomized runtimes
+	// make the per-host RNG stream observable in the metrics.
+	noisy := func(name string) project.Spec {
+		p := cpuProject(name, 100)
+		p.Apps[0].StdevDuration = 400
+		return p
+	}
+	f := &Fleet{
+		Hosts:    []*host.Host{smallHost(4, 1e9, 0, 0), smallHost(4, 1e9, 0, 0)},
+		Projects: []project.Spec{noisy("a"), noisy("b")},
+	}
+	plan := Uniform(f)
+	ev1, err := f.Evaluate(plan, 0.3*86400, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev2, err := f.Evaluate(plan, 0.3*86400, 1+101)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Old derivation: ev1 host 1 used seed 1+101 == ev2 host 0's seed,
+	// so their runs were bit-identical.
+	if ev1.PerHost[1].UsedFLOPSsec == ev2.PerHost[0].UsedFLOPSsec &&
+		ev1.PerHost[1].RPCs == ev2.PerHost[0].RPCs &&
+		ev1.PerHost[1].CompletedJobs == ev2.PerHost[0].CompletedJobs {
+		t.Fatalf("host streams collide across evaluations: %+v vs %+v",
+			ev1.PerHost[1], ev2.PerHost[0])
+	}
+}
+
 func TestEvaluateOptimizedBeatsUniform(t *testing.T) {
 	if testing.Short() {
 		t.Skip("emulation-heavy")

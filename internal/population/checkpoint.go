@@ -1,0 +1,73 @@
+// Checkpoint persistence: the Study aggregate state serialized as JSON
+// and written atomically (temp file + rename in the target directory),
+// so a reader never observes a torn checkpoint and a crash mid-write
+// leaves the previous checkpoint intact. Go encodes float64 values in
+// their shortest exact round-trip form, so loading a checkpoint
+// reconstructs the Welford and P² marker state bit-for-bit — the basis
+// of the resume-equals-uninterrupted guarantee.
+package population
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// writeCheckpoint atomically replaces path with st's JSON encoding.
+func writeCheckpoint(path string, st *Study) error {
+	blob, err := json.MarshalIndent(st, "", " ")
+	if err != nil {
+		return fmt.Errorf("population: encode checkpoint: %w", err)
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".checkpoint-*.json")
+	if err != nil {
+		return fmt.Errorf("population: checkpoint: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(blob); err != nil {
+		tmp.Close()
+		return fmt.Errorf("population: checkpoint: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("population: checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("population: checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("population: checkpoint: %w", err)
+	}
+	return nil
+}
+
+// LoadCheckpoint reads and validates a checkpoint file.
+func LoadCheckpoint(path string) (*Study, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("population: %w", err)
+	}
+	st := &Study{}
+	if err := json.Unmarshal(blob, st); err != nil {
+		return nil, fmt.Errorf("population: parse checkpoint %s: %w", path, err)
+	}
+	if st.Version != checkpointVersion {
+		return nil, fmt.Errorf("population: checkpoint %s has version %d, want %d",
+			path, st.Version, checkpointVersion)
+	}
+	if len(st.Combos) == 0 || len(st.Aggs) != len(st.Combos) {
+		return nil, fmt.Errorf("population: checkpoint %s is malformed: %d combos, %d aggregates",
+			path, len(st.Combos), len(st.Aggs))
+	}
+	if want := len(st.Combos) * (len(st.Combos) - 1) / 2; len(st.Pairs) != want {
+		return nil, fmt.Errorf("population: checkpoint %s is malformed: %d pairs, want %d",
+			path, len(st.Pairs), want)
+	}
+	if st.Done < 0 || st.Target < 0 || st.Done > st.Target {
+		return nil, fmt.Errorf("population: checkpoint %s is malformed: done %d of target %d",
+			path, st.Done, st.Target)
+	}
+	return st, nil
+}

@@ -1,0 +1,404 @@
+// Package population is the streaming Monte-Carlo study engine — the
+// paper's §6.2 direction ("characterize the actual population of
+// scenarios, and develop a system, perhaps based on Monte-Carlo
+// sampling, to study policies over the entire population") built to the
+// ROADMAP's scale: millions of scenarios, bounded memory.
+//
+// Scenarios are sampled on the fly (scenario i is always drawn from an
+// RNG seeded with DeriveSeed(seed, i), so the population is a pure
+// function of the base seed), sharded across the runner worker pool in
+// bounded batches of (combo, scenario) cells, and folded into online
+// aggregates: a Welford mean/variance and a fixed-size P² quantile
+// sketch per (combo, figure of merit), plus paired per-scenario
+// win/loss counts for every combo pair. Memory is O(combos), not
+// O(scenarios) — nothing per-scenario is retained.
+//
+// Determinism: every cell's result is a pure function of (seed, i,
+// combo), and folding happens strictly in scenario order, so the final
+// aggregates are bit-identical for any worker count and any batch
+// size. Checkpoints serialize the exact aggregate state (Go's JSON
+// float64 encoding round-trips exactly), so a run killed at a batch
+// boundary and resumed reports aggregates bit-identical to an
+// uninterrupted run.
+package population
+
+import (
+	"context"
+	"fmt"
+
+	"bce/internal/client"
+	"bce/internal/runner"
+	"bce/internal/scenario"
+	"bce/internal/stats"
+)
+
+// Combo is one policy combination under study.
+type Combo struct {
+	Sched string `json:"sched"` // "JS-LOCAL", "JS-GLOBAL", "JS-WRR", "JS-LLF"
+	Fetch string `json:"fetch"` // "JF-ORIG", "JF-HYSTERESIS", "JF-SPREAD"
+}
+
+// String returns "sched/fetch".
+func (c Combo) String() string { return c.Sched + "/" + c.Fetch }
+
+// DefaultCombos is the policy matrix the paper's variants span.
+func DefaultCombos() []Combo {
+	return []Combo{
+		{"JS-LOCAL", "JF-ORIG"},
+		{"JS-LOCAL", "JF-HYSTERESIS"},
+		{"JS-GLOBAL", "JF-ORIG"},
+		{"JS-GLOBAL", "JF-HYSTERESIS"},
+		{"JS-WRR", "JF-HYSTERESIS"},
+	}
+}
+
+// NumMetrics is the number of figures of merit folded per cell.
+const NumMetrics = 5
+
+// Params configures a streaming population study.
+type Params struct {
+	// Combos is the policy matrix (DefaultCombos when empty).
+	Combos []Combo
+	// Scenarios is the total number of scenarios to evaluate.
+	Scenarios int
+	// Seed is the base seed: scenario i is sampled from an RNG seeded
+	// with DeriveSeed(Seed, i), independent of batching and workers.
+	Seed int64
+	// Population tunes the scenario sampler.
+	Population scenario.PopulationParams
+	// BatchSize bounds how many scenarios are in flight at once; the
+	// engine holds BatchSize×len(Combos) results at peak (default 64).
+	BatchSize int
+	// CheckpointPath, when nonempty, receives an atomically written
+	// JSON checkpoint every CheckpointEvery batches and on
+	// cancellation, enabling bit-identical resume.
+	CheckpointPath string
+	// CheckpointEvery is the number of batches between checkpoint
+	// writes (default 1).
+	CheckpointEvery int
+
+	// Source overrides the population sampler with a fixed scenario
+	// source: it must return the i-th scenario deterministically. Used
+	// by the small-N study adapter.
+	Source func(i int) (*scenario.Scenario, error)
+	// OnCell, when set, observes every folded cell in fold order
+	// (scenario-major, then combo). Failed cells report failed=true
+	// with a zero value.
+	OnCell func(scenarioIdx, comboIdx int, vals [NumMetrics]float64, failed bool)
+	// Progress, when set, is called after every folded batch with the
+	// number of scenarios completed and the target.
+	Progress func(done, total int)
+
+	// runBatch substitutes the execution engine in tests; nil means
+	// runner.Batch.
+	runBatch func(ctx context.Context, specs []runner.Spec, opts ...runner.Option) ([]runner.RunResult, error)
+}
+
+func (p Params) withDefaults() Params {
+	if len(p.Combos) == 0 {
+		p.Combos = DefaultCombos()
+	}
+	if p.BatchSize <= 0 {
+		p.BatchSize = 64
+	}
+	if p.CheckpointEvery <= 0 {
+		p.CheckpointEvery = 1
+	}
+	if p.runBatch == nil {
+		p.runBatch = runner.Batch
+	}
+	return p
+}
+
+// ComboAgg is the online aggregate state for one combo: a Welford
+// accumulator and a quantile sketch per figure of merit, plus the
+// failed-cell count. All state is serializable and resumes exactly.
+type ComboAgg struct {
+	Failed int                              `json:"failed"`
+	Mean   [NumMetrics]stats.MeanState      `json:"mean"`
+	Quants [NumMetrics]stats.QuantileSketch `json:"quants"`
+}
+
+// PairAgg counts paired per-scenario outcomes between combos A and B
+// (indices into Study.Combos, A < B) for every metric. Lower is better,
+// so AWins[m] counts scenarios where combo A had the strictly lower
+// value of metric m; scenarios where either combo failed are skipped.
+type PairAgg struct {
+	A     int             `json:"a"`
+	B     int             `json:"b"`
+	AWins [NumMetrics]int `json:"a_wins"`
+	BWins [NumMetrics]int `json:"b_wins"`
+	Ties  [NumMetrics]int `json:"ties"`
+}
+
+// Study is both the running aggregate state and the final result; its
+// JSON encoding is the checkpoint format.
+type Study struct {
+	Version    int                       `json:"version"`
+	Seed       int64                     `json:"seed"`
+	Population scenario.PopulationParams `json:"population"`
+	Combos     []Combo                   `json:"combos"`
+	// Target is the scenario count the run is heading for; Done is how
+	// many have been folded. A checkpoint with Done < Target is a run
+	// in flight (killed or still going); Resume picks up at Done.
+	Target int        `json:"target"`
+	Done   int        `json:"done"`
+	Aggs   []ComboAgg `json:"aggs"`
+	Pairs  []PairAgg  `json:"pairs"`
+}
+
+// checkpointVersion guards the checkpoint format.
+const checkpointVersion = 1
+
+// newStudy builds the empty aggregate state for p.
+func newStudy(p Params) *Study {
+	st := &Study{
+		Version:    checkpointVersion,
+		Seed:       p.Seed,
+		Population: p.Population,
+		Combos:     append([]Combo(nil), p.Combos...),
+		Target:     p.Scenarios,
+		Aggs:       make([]ComboAgg, len(p.Combos)),
+	}
+	for c := range st.Aggs {
+		for m := 0; m < NumMetrics; m++ {
+			st.Aggs[c].Quants[m] = stats.NewQuantileSketch()
+		}
+	}
+	for a := 0; a < len(p.Combos); a++ {
+		for b := a + 1; b < len(p.Combos); b++ {
+			st.Pairs = append(st.Pairs, PairAgg{A: a, B: b})
+		}
+	}
+	return st
+}
+
+// Run executes a fresh streaming study. On cancellation it writes a
+// final checkpoint (when CheckpointPath is set) and returns the partial
+// study alongside the error, so callers can inspect or resume it.
+func Run(ctx context.Context, p Params, opts ...runner.Option) (*Study, error) {
+	p = p.withDefaults()
+	if p.Scenarios <= 0 {
+		return nil, fmt.Errorf("population: no scenarios requested")
+	}
+	return run(ctx, newStudy(p), p, opts...)
+}
+
+// Resume continues a study from a checkpoint file. The checkpoint's
+// seed, combos and population parameters override p's; p.Scenarios,
+// when larger than the checkpoint's target, extends the run to the new
+// total (0 keeps the original target). The checkpoint is rewritten as
+// the run progresses (to p.CheckpointPath, defaulting to path).
+func Resume(ctx context.Context, path string, p Params, opts ...runner.Option) (*Study, error) {
+	st, err := LoadCheckpoint(path)
+	if err != nil {
+		return nil, err
+	}
+	p = p.withDefaults()
+	p.Seed = st.Seed
+	p.Combos = st.Combos
+	p.Population = st.Population
+	if p.CheckpointPath == "" {
+		p.CheckpointPath = path
+	}
+	if p.Scenarios > st.Target {
+		st.Target = p.Scenarios
+	}
+	p.Scenarios = st.Target
+	return run(ctx, st, p, opts...)
+}
+
+// run drives the batched sample → emulate → fold loop from st.Done to
+// st.Target.
+func run(ctx context.Context, st *Study, p Params, opts ...runner.Option) (*Study, error) {
+	sinceCheckpoint := 0
+	checkpoint := func() error {
+		if p.CheckpointPath == "" {
+			return nil
+		}
+		return writeCheckpoint(p.CheckpointPath, st)
+	}
+	for st.Done < st.Target {
+		lo, hi := st.Done, st.Done+p.BatchSize
+		if hi > st.Target {
+			hi = st.Target
+		}
+		specs, errs := batchSpecs(p, lo, hi)
+		results, err := p.runBatch(ctx, specs, opts...)
+		if err != nil {
+			// Canceled (or failed fast) mid-batch: persist the folded
+			// prefix so the run can resume exactly where it stopped.
+			if ckErr := checkpoint(); ckErr != nil {
+				return st, fmt.Errorf("population: %w (checkpoint also failed: %v)", err, ckErr)
+			}
+			return st, err
+		}
+		foldBatch(st, p, lo, hi, specs, errs, results)
+		if p.Progress != nil {
+			p.Progress(st.Done, st.Target)
+		}
+		sinceCheckpoint++
+		if sinceCheckpoint >= p.CheckpointEvery {
+			if err := checkpoint(); err != nil {
+				return st, err
+			}
+			sinceCheckpoint = 0
+		}
+	}
+	if err := checkpoint(); err != nil {
+		return st, err
+	}
+	return st, nil
+}
+
+// batchSpecs builds the (scenario, combo) cell specs for scenarios
+// [lo,hi), scenario-major. Scenarios that fail to sample or configure
+// are recorded in errs (indexed like specs) and run as no-ops.
+func batchSpecs(p Params, lo, hi int) ([]runner.Spec, []error) {
+	nc := len(p.Combos)
+	specs := make([]runner.Spec, 0, (hi-lo)*nc)
+	errs := make([]error, (hi-lo)*nc)
+	for i := lo; i < hi; i++ {
+		scn, err := sampleScenario(p, i)
+		for c := range p.Combos {
+			cell := (i-lo)*nc + c
+			if err != nil {
+				errs[cell] = err
+				err := err
+				specs = append(specs, runner.Spec{
+					Label: fmt.Sprintf("pop-%07d (bad sample)", i),
+					Make:  func() (client.Config, error) { return client.Config{}, err },
+				})
+				continue
+			}
+			combo := p.Combos[c]
+			scn := scn
+			specs = append(specs, runner.Spec{
+				Label: fmt.Sprintf("%s/%s", scn.Name, combo),
+				Make:  func() (client.Config, error) { return comboConfig(scn, combo) },
+			})
+		}
+	}
+	return specs, errs
+}
+
+// sampleScenario materializes scenario i: from the fixed Source, or
+// drawn from the population model with a per-index derived seed.
+func sampleScenario(p Params, i int) (*scenario.Scenario, error) {
+	if p.Source != nil {
+		return p.Source(i)
+	}
+	rng := stats.NewRNG(runner.DeriveSeed(p.Seed, i))
+	scn := scenario.Sample(rng, p.Population)
+	scn.Name = fmt.Sprintf("pop-%07d", i)
+	return scn, nil
+}
+
+// comboConfig builds the config for one (scenario, combo) cell; the
+// scenario is copied so concurrent cells never share mutable state.
+func comboConfig(base *scenario.Scenario, combo Combo) (client.Config, error) {
+	s := *base
+	s.Policies.JobSched = combo.Sched
+	s.Policies.JobFetch = combo.Fetch
+	return s.Config()
+}
+
+// foldBatch folds one batch of results into the aggregates, strictly
+// in scenario order (then combo order), so the accumulated floating-
+// point state is independent of worker scheduling.
+func foldBatch(st *Study, p Params, lo, hi int, specs []runner.Spec, errs []error, results []runner.RunResult) {
+	nc := len(st.Combos)
+	vals := make([][NumMetrics]float64, nc)
+	failed := make([]bool, nc)
+	for i := lo; i < hi; i++ {
+		for c := 0; c < nc; c++ {
+			cell := (i-lo)*nc + c
+			switch {
+			case errs[cell] != nil:
+				failed[c] = true
+			case results[cell].Err != nil:
+				failed[c] = true
+			default:
+				vals[c] = results[cell].Result.Metrics.Values()
+				failed[c] = false
+			}
+			if failed[c] {
+				vals[c] = [NumMetrics]float64{}
+			}
+		}
+		foldScenario(st, vals, failed)
+		if p.OnCell != nil {
+			for c := 0; c < nc; c++ {
+				p.OnCell(i, c, vals[c], failed[c])
+			}
+		}
+		st.Done++
+	}
+}
+
+// foldScenario folds one scenario's per-combo values.
+func foldScenario(st *Study, vals [][NumMetrics]float64, failed []bool) {
+	for c := range st.Aggs {
+		if failed[c] {
+			st.Aggs[c].Failed++
+			continue
+		}
+		for m := 0; m < NumMetrics; m++ {
+			mean := stats.MeanFromState(st.Aggs[c].Mean[m])
+			mean.Add(vals[c][m])
+			st.Aggs[c].Mean[m] = mean.State()
+			st.Aggs[c].Quants[m].Add(vals[c][m])
+		}
+	}
+	for pi := range st.Pairs {
+		pr := &st.Pairs[pi]
+		if failed[pr.A] || failed[pr.B] {
+			continue
+		}
+		for m := 0; m < NumMetrics; m++ {
+			switch {
+			case vals[pr.A][m] < vals[pr.B][m]:
+				pr.AWins[m]++
+			case vals[pr.B][m] < vals[pr.A][m]:
+				pr.BWins[m]++
+			default:
+				pr.Ties[m]++
+			}
+		}
+	}
+}
+
+// Mean returns the population mean and 95% CI half-width of one metric
+// for one combo (failed scenarios excluded).
+func (st *Study) Mean(combo, metric int) (mean, ci float64) {
+	m := stats.MeanFromState(st.Aggs[combo].Mean[metric])
+	return m.Mean(), m.CI95()
+}
+
+// Quantile returns the estimated quantile of one metric for one combo;
+// p must be one of stats.DefaultQuantiles.
+func (st *Study) Quantile(combo, metric int, p float64) (float64, error) {
+	return st.Aggs[combo].Quants[metric].Quantile(p)
+}
+
+// PairedWins returns the paired per-scenario comparison of combos a and
+// b (indices into Combos) on one metric: scenarios where a was strictly
+// better (lower), where b was, and ties.
+func (st *Study) PairedWins(metric, a, b int) (aWins, bWins, ties int) {
+	if a == b {
+		return 0, 0, st.Done - st.Aggs[a].Failed
+	}
+	swap := false
+	if a > b {
+		a, b, swap = b, a, true
+	}
+	for _, pr := range st.Pairs {
+		if pr.A == a && pr.B == b {
+			if swap {
+				return pr.BWins[metric], pr.AWins[metric], pr.Ties[metric]
+			}
+			return pr.AWins[metric], pr.BWins[metric], pr.Ties[metric]
+		}
+	}
+	return 0, 0, 0
+}

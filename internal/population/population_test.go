@@ -1,0 +1,337 @@
+package population
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"bce/internal/client"
+	"bce/internal/metrics"
+	"bce/internal/runner"
+	"bce/internal/scenario"
+)
+
+// stubBatch fabricates deterministic per-cell metrics from the spec
+// label (no emulation), so checkpoint/resume mechanics can be tested at
+// the 10k-scenario scale the acceptance criteria name in milliseconds.
+func stubBatch(ctx context.Context, specs []runner.Spec, opts ...runner.Option) ([]runner.RunResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	results := make([]runner.RunResult, len(specs))
+	for i, sp := range specs {
+		h := uint64(14695981039346656037)
+		for _, c := range []byte(sp.Label) {
+			h = (h ^ uint64(c)) * 1099511628211
+		}
+		var m metrics.Metrics
+		m.IdleFraction = float64(h%1000) / 1000
+		m.WastedFraction = float64((h>>10)%1000) / 1000
+		m.ShareViolation = float64((h>>20)%1000) / 1000
+		m.Monotony = float64((h>>30)%1000) / 1000
+		m.RPCsPerJob = float64((h>>40)%1000) / 1000
+		results[i] = runner.RunResult{Index: i, Label: sp.Label, Result: &client.Result{Metrics: m}}
+	}
+	return results, nil
+}
+
+func stubParams(n int, ck string) Params {
+	return Params{
+		Combos:         []Combo{{"JS-LOCAL", "JF-ORIG"}, {"JS-GLOBAL", "JF-HYSTERESIS"}, {"JS-WRR", "JF-HYSTERESIS"}},
+		Scenarios:      n,
+		Seed:           42,
+		BatchSize:      128,
+		CheckpointPath: ck,
+		runBatch:       stubBatch,
+	}
+}
+
+func studyJSON(t *testing.T, st *Study) string {
+	t.Helper()
+	blob, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(blob)
+}
+
+// The acceptance-criteria scale: 10k scenarios straight vs. killed at
+// ~5k and resumed; the aggregate states must be bit-identical.
+func TestResumeEquivalence10k(t *testing.T) {
+	dir := t.TempDir()
+	ck := filepath.Join(dir, "ck.json")
+
+	straight, err := Run(context.Background(), stubParams(10_000, ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted run: cancel once 5k scenarios are folded. The cancel
+	// lands between batches, like a SIGINT through runner.Batch.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	p := stubParams(10_000, ck)
+	p.Progress = func(done, total int) {
+		if done >= 5_000 {
+			cancel()
+		}
+	}
+	partial, err := Run(ctx, p)
+	if err == nil {
+		t.Fatal("canceled run reported no error")
+	}
+	if partial.Done >= 10_000 || partial.Done < 5_000 {
+		t.Fatalf("interrupted at %d scenarios, want within [5000,10000)", partial.Done)
+	}
+
+	resumed, err := Resume(context.Background(), ck, Params{runBatch: stubBatch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Done != 10_000 || resumed.Target != 10_000 {
+		t.Fatalf("resume finished at %d/%d, want 10000/10000", resumed.Done, resumed.Target)
+	}
+	if a, b := studyJSON(t, straight), studyJSON(t, resumed); a != b {
+		t.Fatal("resumed aggregates are not bit-identical to the uninterrupted run")
+	}
+}
+
+// Resume can also extend a completed study to a larger target, and the
+// result matches running the larger study from scratch.
+func TestResumeExtendsTarget(t *testing.T) {
+	dir := t.TempDir()
+	ck := filepath.Join(dir, "ck.json")
+	if _, err := Run(context.Background(), stubParams(3_000, ck)); err != nil {
+		t.Fatal(err)
+	}
+	extended, err := Resume(context.Background(), ck, Params{Scenarios: 9_000, runBatch: stubBatch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	straight, err := Run(context.Background(), stubParams(9_000, ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := studyJSON(t, straight), studyJSON(t, extended); a != b {
+		t.Fatal("extended study diverged from a straight run")
+	}
+}
+
+// Resume is insensitive to batch size: fold order is scenario order,
+// not batch structure.
+func TestResumeDifferentBatchSize(t *testing.T) {
+	dir := t.TempDir()
+	ck := filepath.Join(dir, "ck.json")
+	p := stubParams(2_500, ck)
+	p.BatchSize = 97
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	p.Progress = func(done, total int) {
+		if done >= 1_000 {
+			cancel()
+		}
+	}
+	if _, err := Run(ctx, p); err == nil {
+		t.Fatal("canceled run reported no error")
+	}
+	resumed, err := Resume(context.Background(), ck, Params{BatchSize: 31, runBatch: stubBatch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	straight, err := Run(context.Background(), stubParams(2_500, ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := studyJSON(t, straight), studyJSON(t, resumed); a != b {
+		t.Fatal("batch-size change broke resume equivalence")
+	}
+}
+
+// The streaming path must not retain per-scenario values: the aggregate
+// state (= checkpoint size) stays essentially constant as the scenario
+// count grows 10x.
+func TestAggregateStateSizeIndependentOfN(t *testing.T) {
+	small, err := Run(context.Background(), stubParams(500, ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := Run(context.Background(), stubParams(5_000, ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := len(studyJSON(t, small)), len(studyJSON(t, large))
+	if b > a+1_000 {
+		t.Fatalf("aggregate state grew with N: %d bytes at 500, %d at 5000", a, b)
+	}
+}
+
+func TestOnCellFoldOrder(t *testing.T) {
+	var cells []string
+	p := stubParams(7, "")
+	p.BatchSize = 3
+	p.OnCell = func(i, c int, vals [NumMetrics]float64, failed bool) {
+		cells = append(cells, fmt.Sprintf("%d/%d", i, c))
+		if failed {
+			t.Errorf("cell %d/%d unexpectedly failed", i, c)
+		}
+	}
+	if _, err := Run(context.Background(), p); err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 7*3 {
+		t.Fatalf("OnCell fired %d times, want 21", len(cells))
+	}
+	want := 0
+	for i := 0; i < 7; i++ {
+		for c := 0; c < 3; c++ {
+			if cells[want] != fmt.Sprintf("%d/%d", i, c) {
+				t.Fatalf("fold order broken at %d: %v", want, cells[want])
+			}
+			want++
+		}
+	}
+}
+
+func TestPairedWinsSymmetry(t *testing.T) {
+	st, err := Run(context.Background(), stubParams(200, ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	aw, bw, ties := st.PairedWins(0, 0, 1)
+	bw2, aw2, ties2 := st.PairedWins(0, 1, 0)
+	if aw != aw2 || bw != bw2 || ties != ties2 {
+		t.Fatalf("PairedWins not symmetric: %d/%d/%d vs %d/%d/%d", aw, bw, ties, aw2, bw2, ties2)
+	}
+	if aw+bw+ties != 200 {
+		t.Fatalf("pair outcomes sum to %d, want 200", aw+bw+ties)
+	}
+	if _, _, self := st.PairedWins(0, 1, 1); self != 200 {
+		t.Fatalf("self-pair ties = %d, want 200", self)
+	}
+}
+
+func TestLoadCheckpointRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(bad); err == nil {
+		t.Fatal("garbage checkpoint accepted")
+	}
+	if err := os.WriteFile(bad, []byte(`{"version":99}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(bad); err == nil {
+		t.Fatal("wrong-version checkpoint accepted")
+	}
+	if err := os.WriteFile(bad, []byte(`{"version":1,"combos":[{"sched":"a","fetch":"b"}],"aggs":[{}],"pairs":[],"target":5,"done":9}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(bad); err == nil {
+		t.Fatal("done > target checkpoint accepted")
+	}
+	if _, err := LoadCheckpoint(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing checkpoint accepted")
+	}
+}
+
+func TestRunRejectsZeroScenarios(t *testing.T) {
+	if _, err := Run(context.Background(), Params{runBatch: stubBatch}); err == nil {
+		t.Fatal("zero-scenario study accepted")
+	}
+}
+
+// realParams is a small real-emulation study: tiny scenarios, two
+// combos, so the whole test stays in the hundreds of milliseconds.
+func realParams(n int, ck string) Params {
+	return Params{
+		Combos:    []Combo{{"JS-LOCAL", "JF-HYSTERESIS"}, {"JS-GLOBAL", "JF-ORIG"}},
+		Scenarios: n,
+		Seed:      7,
+		Population: scenario.PopulationParams{
+			DurationDays: 0.2,
+			MaxProjects:  3,
+			GPUFraction:  scenario.Frac(0.2),
+		},
+		BatchSize:      4,
+		CheckpointPath: ck,
+	}
+}
+
+// End-to-end: a real (emulating) study killed mid-run and resumed must
+// match the uninterrupted run bit-for-bit.
+func TestRealResumeEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("emulation-heavy")
+	}
+	dir := t.TempDir()
+	ck := filepath.Join(dir, "ck.json")
+
+	straight, err := Run(context.Background(), realParams(12, ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	p := realParams(12, ck)
+	p.Progress = func(done, total int) {
+		if done >= 6 {
+			cancel()
+		}
+	}
+	if _, err := Run(ctx, p); err == nil {
+		t.Fatal("canceled run reported no error")
+	}
+	st, err := LoadCheckpoint(ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Done < 6 || st.Done >= 12 {
+		t.Fatalf("checkpoint at %d scenarios, want within [6,12)", st.Done)
+	}
+	resumed, err := Resume(context.Background(), ck, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := studyJSON(t, straight), studyJSON(t, resumed); a != b {
+		t.Fatal("real resumed aggregates are not bit-identical to the uninterrupted run")
+	}
+}
+
+// The aggregates are identical for any worker count: results are folded
+// in scenario order regardless of completion order.
+func TestWorkerCountInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("emulation-heavy")
+	}
+	one, err := Run(context.Background(), realParams(8, ""), runner.WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := Run(context.Background(), realParams(8, ""), runner.WithWorkers(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := studyJSON(t, one), studyJSON(t, many); a != b {
+		t.Fatal("worker count changed the aggregates")
+	}
+}
+
+// A canceled run surfaces a context error the caller can test with
+// errors.Is, and still returns the partial study.
+func TestCancelReturnsPartialStudy(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	st, err := Run(ctx, stubParams(100, ""))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if st == nil || st.Done != 0 {
+		t.Fatalf("partial study = %+v", st)
+	}
+}

@@ -1,0 +1,76 @@
+// Text rendering of a Study: population means with confidence
+// intervals, estimated quantiles, and paired per-scenario wins — the
+// controller's console output.
+package population
+
+import (
+	"fmt"
+	"strings"
+
+	"bce/internal/metrics"
+)
+
+// Table renders the population means with 95% confidence intervals,
+// one row per combo.
+func (st *Study) Table() string {
+	var b strings.Builder
+	names := metrics.Names()
+	fmt.Fprintf(&b, "%-26s", "policy")
+	for _, n := range names {
+		fmt.Fprintf(&b, " %16s", n)
+	}
+	b.WriteByte('\n')
+	for c, combo := range st.Combos {
+		fmt.Fprintf(&b, "%-26s", combo.String())
+		for m := range names {
+			mean, ci := st.Mean(c, m)
+			fmt.Fprintf(&b, " %16s", fmt.Sprintf("%.4f±%.3f", mean, ci))
+		}
+		if f := st.Aggs[c].Failed; f > 0 {
+			fmt.Fprintf(&b, "  (%d failed)", f)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// QuantileTable renders the estimated quantiles of one metric.
+func (st *Study) QuantileTable(metric int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s quantiles\n%-26s", metrics.Names()[metric], "policy")
+	ps := []float64{0.25, 0.5, 0.75, 0.9, 0.95}
+	for _, p := range ps {
+		fmt.Fprintf(&b, " %8s", fmt.Sprintf("p%g", 100*p))
+	}
+	b.WriteByte('\n')
+	for c, combo := range st.Combos {
+		fmt.Fprintf(&b, "%-26s", combo.String())
+		for _, p := range ps {
+			v, err := st.Quantile(c, metric, p)
+			if err != nil {
+				fmt.Fprintf(&b, " %8s", "-")
+				continue
+			}
+			fmt.Fprintf(&b, " %8.4f", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// WinsTable renders the paired comparison of every combo against the
+// first (the baseline) for one metric.
+func (st *Study) WinsTable(metric int) string {
+	if len(st.Combos) < 2 {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "paired wins on %s vs baseline %s (lower is better)\n",
+		metrics.Names()[metric], st.Combos[0])
+	for c := 1; c < len(st.Combos); c++ {
+		cw, bw, ties := st.PairedWins(metric, c, 0)
+		fmt.Fprintf(&b, "  %-26s wins %3d, loses %3d, ties %3d\n",
+			st.Combos[c].String(), cw, bw, ties)
+	}
+	return b.String()
+}

@@ -15,6 +15,7 @@ import (
 	"bce/internal/experiments"
 	"bce/internal/harness"
 	"bce/internal/metrics"
+	"bce/internal/population"
 )
 
 // Report accumulates sections and renders them as one HTML document.
@@ -109,6 +110,43 @@ func (r *Report) AddComparison(heading string, cmp *harness.Comparison) {
 	tb.WriteString("</table>")
 	r.sections = append(r.sections, section{
 		Heading: heading,
+		SVG:     template.HTML(c.BarSVG()),
+		Table:   template.HTML(tb.String()),
+	})
+}
+
+// AddPopulation renders a streaming population study: grouped bars of
+// the population means over the five figures of merit, plus a table
+// with confidence intervals and the paired-wins summary.
+func (r *Report) AddPopulation(heading string, st *population.Study) {
+	names := metrics.Names()
+	c := chart.Chart{Title: heading, YLabel: "population mean (0 = good)", Categories: names[:]}
+	for ci, combo := range st.Combos {
+		ys := make([]float64, len(names))
+		for m := range names {
+			ys[m], _ = st.Mean(ci, m)
+		}
+		c.Series = append(c.Series, chart.Series{Label: combo.String(), Y: ys})
+	}
+	var tb strings.Builder
+	tb.WriteString("<table><tr><th>policy</th>")
+	for _, n := range names {
+		tb.WriteString("<th>" + n + "</th>")
+	}
+	tb.WriteString("<th>failed</th></tr>\n")
+	for ci, combo := range st.Combos {
+		fmt.Fprintf(&tb, "<tr><td>%s</td>", template.HTMLEscapeString(combo.String()))
+		for m := range names {
+			mean, halfCI := st.Mean(ci, m)
+			fmt.Fprintf(&tb, "<td>%.4f ± %.3f</td>", mean, halfCI)
+		}
+		fmt.Fprintf(&tb, "<td>%d</td></tr>\n", st.Aggs[ci].Failed)
+	}
+	tb.WriteString("</table>")
+	tb.WriteString("<pre>" + template.HTMLEscapeString(st.WinsTable(2)+"\n"+st.WinsTable(4)) + "</pre>")
+	r.sections = append(r.sections, section{
+		Heading: heading,
+		Prose:   fmt.Sprintf("%d scenarios sampled with seed %d.", st.Done, st.Seed),
 		SVG:     template.HTML(c.BarSVG()),
 		Table:   template.HTML(tb.String()),
 	})

@@ -14,36 +14,66 @@ import (
 	"bce/internal/stats"
 )
 
-// PopulationParams tunes the scenario sampler.
+// PopulationParams tunes the scenario sampler. The fraction fields are
+// pointers because zero is a meaningful setting (a CPU-only or
+// always-available population): nil means "use the default", while
+// Frac(0) pins the fraction to exactly zero. The zero value
+// PopulationParams{} keeps its historical meaning — every field at its
+// default.
 type PopulationParams struct {
-	MaxProjects  int     // cap on attached projects (default 20)
-	GPUFraction  float64 // fraction of hosts with a GPU (default 0.3)
-	SporadicFrac float64 // fraction of hosts with on/off availability (default 0.6)
-	DurationDays float64 // emulation length (default 10)
+	MaxProjects  int      `json:"max_projects,omitempty"`  // cap on attached projects (default 20)
+	GPUFraction  *float64 `json:"gpu_fraction,omitempty"`  // fraction of hosts with a GPU (default 0.3)
+	SporadicFrac *float64 `json:"sporadic_frac,omitempty"` // fraction of hosts with on/off availability (default 0.6)
+	DurationDays float64  `json:"duration_days,omitempty"` // emulation length (default 10)
 }
 
-func (p PopulationParams) withDefaults() PopulationParams {
-	if p.MaxProjects <= 0 {
-		p.MaxProjects = 20
+// Frac wraps a fraction for PopulationParams, distinguishing an
+// explicit value (including 0) from an unset field.
+func Frac(v float64) *float64 { return &v }
+
+// resolved is PopulationParams with every default applied — the form
+// the sampler consumes.
+type resolved struct {
+	maxProjects  int
+	gpuFraction  float64
+	sporadicFrac float64
+	durationDays float64
+}
+
+func (p PopulationParams) withDefaults() resolved {
+	r := resolved{maxProjects: p.MaxProjects, durationDays: p.DurationDays,
+		gpuFraction: 0.3, sporadicFrac: 0.6}
+	if r.maxProjects <= 0 {
+		r.maxProjects = 20
 	}
-	if p.GPUFraction <= 0 {
-		p.GPUFraction = 0.3
+	if p.GPUFraction != nil {
+		r.gpuFraction = clampFrac(*p.GPUFraction)
 	}
-	if p.SporadicFrac <= 0 {
-		p.SporadicFrac = 0.6
+	if p.SporadicFrac != nil {
+		r.sporadicFrac = clampFrac(*p.SporadicFrac)
 	}
-	if p.DurationDays <= 0 {
-		p.DurationDays = 10
+	if r.durationDays <= 0 {
+		r.durationDays = 10
 	}
-	return p
+	return r
+}
+
+func clampFrac(v float64) float64 {
+	switch {
+	case math.IsNaN(v), v < 0:
+		return 0
+	case v > 1:
+		return 1
+	}
+	return v
 }
 
 // Sample draws one random scenario from the population model.
 func Sample(rng *stats.RNG, params PopulationParams) *Scenario {
-	params = params.withDefaults()
+	p := params.withDefaults()
 	s := &Scenario{
 		Name:         fmt.Sprintf("sampled-%06d", rng.Intn(1_000_000)),
-		DurationDays: params.DurationDays,
+		DurationDays: p.durationDays,
 		Seed:         int64(rng.Intn(1 << 30)),
 	}
 
@@ -52,7 +82,7 @@ func Sample(rng *stats.RNG, params PopulationParams) *Scenario {
 	s.Host.NCPU = cores[rng.Intn(len(cores))]
 	s.Host.CPUGFlops = rng.Uniform(1, 8)
 	s.Host.MemGB = []float64{2, 4, 8, 8, 16, 32}[rng.Intn(6)]
-	if rng.Float64() < params.GPUFraction {
+	if rng.Float64() < p.gpuFraction {
 		s.Host.NGPU = 1
 		if rng.Float64() < 0.15 {
 			s.Host.NGPU = 2
@@ -69,7 +99,7 @@ func Sample(rng *stats.RNG, params PopulationParams) *Scenario {
 	s.Host.LeaveInMemory = rng.Float64() < 0.5
 
 	// Availability: a majority of hosts cycle on/off.
-	if rng.Float64() < params.SporadicFrac {
+	if rng.Float64() < p.sporadicFrac {
 		s.Host.Avail = AvailJSON{
 			MeanOnHours:  rng.Uniform(2, 30),
 			MeanOffHours: rng.Uniform(1, 16),
@@ -78,8 +108,8 @@ func Sample(rng *stats.RNG, params PopulationParams) *Scenario {
 
 	// Projects: 1..MaxProjects with a strong bias toward few.
 	nproj := 1 + int(math.Floor(rng.Exp(2)))
-	if nproj > params.MaxProjects {
-		nproj = params.MaxProjects
+	if nproj > p.maxProjects {
+		nproj = p.maxProjects
 	}
 	for i := 0; i < nproj; i++ {
 		s.Projects = append(s.Projects, sampleProject(rng, i, s.Host.NGPU > 0, s.Host.GPUKind))

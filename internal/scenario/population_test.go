@@ -1,0 +1,73 @@
+package scenario
+
+import (
+	"testing"
+
+	"bce/internal/stats"
+)
+
+// Regression: explicit zeros used to be treated as "unset" and silently
+// replaced by the defaults (0.3 GPU / 0.6 sporadic), so a CPU-only or
+// always-available population was impossible to sample.
+func TestSampleExplicitZeroFractions(t *testing.T) {
+	rng := stats.NewRNG(42)
+	params := PopulationParams{GPUFraction: Frac(0), SporadicFrac: Frac(0)}
+	for i := 0; i < 200; i++ {
+		s := Sample(rng, params)
+		if s.Host.NGPU != 0 {
+			t.Fatalf("sample %d has a GPU despite GPUFraction=0", i)
+		}
+		if s.Host.Avail.MeanOffHours != 0 {
+			t.Fatalf("sample %d has sporadic availability despite SporadicFrac=0", i)
+		}
+	}
+}
+
+func TestSampleExplicitOneFractions(t *testing.T) {
+	rng := stats.NewRNG(42)
+	params := PopulationParams{GPUFraction: Frac(1), SporadicFrac: Frac(1)}
+	for i := 0; i < 50; i++ {
+		s := Sample(rng, params)
+		if s.Host.NGPU == 0 {
+			t.Fatalf("sample %d has no GPU despite GPUFraction=1", i)
+		}
+		if s.Host.Avail.MeanOffHours == 0 {
+			t.Fatalf("sample %d always-on despite SporadicFrac=1", i)
+		}
+	}
+}
+
+// The zero value keeps its historical meaning: defaults everywhere, so
+// a large sample contains both GPU and sporadic hosts.
+func TestSampleZeroValueKeepsDefaults(t *testing.T) {
+	rng := stats.NewRNG(42)
+	gpus, sporadic := 0, 0
+	const n = 300
+	for i := 0; i < n; i++ {
+		s := Sample(rng, PopulationParams{})
+		if s.Host.NGPU > 0 {
+			gpus++
+		}
+		if s.Host.Avail.MeanOffHours > 0 {
+			sporadic++
+		}
+	}
+	if gpus == 0 || gpus == n {
+		t.Fatalf("default GPUFraction not applied: %d/%d GPU hosts", gpus, n)
+	}
+	if sporadic == 0 || sporadic == n {
+		t.Fatalf("default SporadicFrac not applied: %d/%d sporadic hosts", sporadic, n)
+	}
+}
+
+func TestClampFrac(t *testing.T) {
+	rng := stats.NewRNG(1)
+	// Out-of-range fractions are clamped rather than rejected.
+	s := Sample(rng, PopulationParams{GPUFraction: Frac(-3), SporadicFrac: Frac(7)})
+	if s.Host.NGPU != 0 {
+		t.Fatal("negative GPUFraction should clamp to 0")
+	}
+	if s.Host.Avail.MeanOffHours == 0 {
+		t.Fatal("SporadicFrac above 1 should clamp to 1")
+	}
+}

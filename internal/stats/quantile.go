@@ -1,0 +1,171 @@
+// Fixed-size streaming quantile estimation (the P² algorithm of Jain &
+// Chlamtac, CACM 1985). A population study folds millions of
+// per-scenario figure-of-merit values; P² tracks a quantile with five
+// markers — O(1) memory and update cost, no sample retention — which is
+// what keeps the streaming study's footprint independent of the
+// scenario count. The marker state is plain exported float64/int
+// fields, so a sketch serializes to JSON and resumes bit-identically
+// (Go's JSON encoding of float64 is exact round-trip).
+package stats
+
+import (
+	"fmt"
+	"sort"
+)
+
+// P2Quantile estimates one quantile of a stream with five markers.
+// The zero value is not ready for use; call NewP2Quantile.
+type P2Quantile struct {
+	P float64 `json:"p"` // target quantile in (0,1)
+	N int     `json:"n"` // observations folded so far
+
+	// Marker state, meaningful once N >= 5: H are the marker heights
+	// (H[2] estimates the quantile), Pos their integer positions, Des
+	// the desired (fractional) positions.
+	H   [5]float64 `json:"h"`
+	Pos [5]int     `json:"pos"`
+	Des [5]float64 `json:"des"`
+}
+
+// NewP2Quantile returns a sketch targeting quantile p in (0,1).
+func NewP2Quantile(p float64) P2Quantile {
+	return P2Quantile{P: p}
+}
+
+// Add folds one observation into the sketch.
+func (q *P2Quantile) Add(x float64) {
+	if q.N < 5 {
+		q.H[q.N] = x
+		q.N++
+		if q.N == 5 {
+			sort.Float64s(q.H[:])
+			for i := range q.Pos {
+				q.Pos[i] = i + 1
+			}
+			q.Des = [5]float64{1, 1 + 2*q.P, 1 + 4*q.P, 3 + 2*q.P, 5}
+		}
+		return
+	}
+	q.N++
+
+	// Locate the cell containing x, extending the extremes if needed.
+	var k int
+	switch {
+	case x < q.H[0]:
+		q.H[0] = x
+		k = 0
+	case x >= q.H[4]:
+		q.H[4] = x
+		k = 3
+	default:
+		for k = 0; k < 3; k++ {
+			if x < q.H[k+1] {
+				break
+			}
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		q.Pos[i]++
+	}
+	q.Des[1] += q.P / 2
+	q.Des[2] += q.P
+	q.Des[3] += (1 + q.P) / 2
+	q.Des[4]++
+
+	// Adjust the interior markers toward their desired positions with a
+	// piecewise-parabolic (hence P²) height prediction.
+	for i := 1; i <= 3; i++ {
+		d := q.Des[i] - float64(q.Pos[i])
+		if (d >= 1 && q.Pos[i+1]-q.Pos[i] > 1) || (d <= -1 && q.Pos[i-1]-q.Pos[i] < -1) {
+			s := 1
+			if d < 0 {
+				s = -1
+			}
+			h := q.parabolic(i, s)
+			if q.H[i-1] < h && h < q.H[i+1] {
+				q.H[i] = h
+			} else {
+				q.H[i] = q.linear(i, s)
+			}
+			q.Pos[i] += s
+		}
+	}
+}
+
+// parabolic is the P² quadratic height prediction for moving marker i
+// by s (±1).
+func (q *P2Quantile) parabolic(i, s int) float64 {
+	ni := float64(q.Pos[i])
+	np := float64(q.Pos[i+1])
+	nm := float64(q.Pos[i-1])
+	fs := float64(s)
+	return q.H[i] + fs/(np-nm)*
+		((ni-nm+fs)*(q.H[i+1]-q.H[i])/(np-ni)+
+			(np-ni-fs)*(q.H[i]-q.H[i-1])/(ni-nm))
+}
+
+// linear is the fallback height prediction when the parabola would
+// break marker monotonicity.
+func (q *P2Quantile) linear(i, s int) float64 {
+	return q.H[i] + float64(s)*(q.H[i+s]-q.H[i])/float64(q.Pos[i+s]-q.Pos[i])
+}
+
+// Value returns the current quantile estimate. With fewer than five
+// observations it falls back to the exact small-sample quantile.
+func (q *P2Quantile) Value() float64 {
+	if q.N == 0 {
+		return 0
+	}
+	if q.N < 5 {
+		h := make([]float64, q.N)
+		copy(h, q.H[:q.N])
+		sort.Float64s(h)
+		i := int(q.P * float64(q.N))
+		if i >= q.N {
+			i = q.N - 1
+		}
+		return h[i]
+	}
+	return q.H[2]
+}
+
+// DefaultQuantiles are the targets a QuantileSketch tracks unless told
+// otherwise: quartiles plus the tail the study report quotes.
+var DefaultQuantiles = []float64{0.25, 0.5, 0.75, 0.9, 0.95}
+
+// QuantileSketch tracks a fixed set of quantiles of one stream, one P²
+// estimator per target — constant memory regardless of stream length.
+type QuantileSketch struct {
+	Targets []P2Quantile `json:"targets"`
+}
+
+// NewQuantileSketch returns a sketch for the given targets
+// (DefaultQuantiles when none are given).
+func NewQuantileSketch(ps ...float64) QuantileSketch {
+	if len(ps) == 0 {
+		ps = DefaultQuantiles
+	}
+	s := QuantileSketch{Targets: make([]P2Quantile, len(ps))}
+	for i, p := range ps {
+		s.Targets[i] = NewP2Quantile(p)
+	}
+	return s
+}
+
+// Add folds one observation into every target estimator.
+func (s *QuantileSketch) Add(x float64) {
+	for i := range s.Targets {
+		s.Targets[i].Add(x)
+	}
+}
+
+// Quantile returns the estimate for target p, which must be one of the
+// sketch's targets.
+func (s *QuantileSketch) Quantile(p float64) (float64, error) {
+	for i := range s.Targets {
+		if s.Targets[i].P == p {
+			return s.Targets[i].Value(), nil
+		}
+	}
+	return 0, fmt.Errorf("stats: quantile %g not tracked by this sketch", p)
+}

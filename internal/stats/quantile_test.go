@@ -1,0 +1,118 @@
+package stats
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+func TestP2QuantileUniform(t *testing.T) {
+	rng := NewRNG(7)
+	for _, p := range []float64{0.25, 0.5, 0.9} {
+		q := NewP2Quantile(p)
+		for i := 0; i < 20000; i++ {
+			q.Add(rng.Float64())
+		}
+		if got := q.Value(); math.Abs(got-p) > 0.02 {
+			t.Errorf("p=%g: estimate %g, want within 0.02", p, got)
+		}
+	}
+}
+
+func TestP2QuantileNormalMedian(t *testing.T) {
+	rng := NewRNG(11)
+	q := NewP2Quantile(0.5)
+	for i := 0; i < 20000; i++ {
+		q.Add(rng.Normal(3, 2))
+	}
+	if got := q.Value(); math.Abs(got-3) > 0.1 {
+		t.Errorf("normal median estimate %g, want ~3", got)
+	}
+}
+
+func TestP2QuantileSmallSamples(t *testing.T) {
+	q := NewP2Quantile(0.5)
+	if q.Value() != 0 {
+		t.Fatal("empty sketch should report 0")
+	}
+	q.Add(5)
+	if q.Value() != 5 {
+		t.Fatalf("one sample: %g, want 5", q.Value())
+	}
+	q.Add(1)
+	q.Add(9)
+	if got := q.Value(); got != 5 {
+		t.Fatalf("three samples median %g, want 5", got)
+	}
+}
+
+// The engine's checkpoint guarantee rests on sketches resuming
+// bit-identically: fold half, round-trip through JSON, fold the rest —
+// the state must match an uninterrupted fold exactly.
+func TestQuantileSketchJSONResumeBitIdentical(t *testing.T) {
+	rng1 := NewRNG(3)
+	straight := NewQuantileSketch()
+	resumed := NewQuantileSketch()
+	for i := 0; i < 5000; i++ {
+		x := rng1.Lognormal(0, 1)
+		straight.Add(x)
+		resumed.Add(x)
+	}
+	blob, err := json.Marshal(resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reloaded QuantileSketch
+	if err := json.Unmarshal(blob, &reloaded); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5000; i++ {
+		x := rng1.Lognormal(0, 1)
+		straight.Add(x)
+		reloaded.Add(x)
+	}
+	a, _ := json.Marshal(straight)
+	b, _ := json.Marshal(reloaded)
+	if string(a) != string(b) {
+		t.Fatalf("resumed sketch diverged:\n%s\n%s", a, b)
+	}
+}
+
+func TestMeanStateRoundTrip(t *testing.T) {
+	rng := NewRNG(5)
+	var straight, front Mean
+	for i := 0; i < 1000; i++ {
+		x := rng.Normal(0, 1)
+		straight.Add(x)
+		front.Add(x)
+	}
+	blob, err := json.Marshal(front.State())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st MeanState
+	if err := json.Unmarshal(blob, &st); err != nil {
+		t.Fatal(err)
+	}
+	back := MeanFromState(st)
+	for i := 0; i < 1000; i++ {
+		x := rng.Normal(2, 3)
+		straight.Add(x)
+		back.Add(x)
+	}
+	if back.Mean() != straight.Mean() || back.Var() != straight.Var() || back.N() != straight.N() {
+		t.Fatalf("state round-trip diverged: %v/%v vs %v/%v",
+			back.Mean(), back.Var(), straight.Mean(), straight.Var())
+	}
+}
+
+func TestQuantileSketchUnknownTarget(t *testing.T) {
+	s := NewQuantileSketch(0.5)
+	if _, err := s.Quantile(0.9); err == nil {
+		t.Fatal("untracked quantile accepted")
+	}
+	s.Add(1)
+	if v, err := s.Quantile(0.5); err != nil || v != 1 {
+		t.Fatalf("tracked quantile: %v, %v", v, err)
+	}
+}

@@ -92,6 +92,23 @@ type Mean struct {
 	m2   float64
 }
 
+// MeanState is the serializable form of a Mean accumulator: the Welford
+// triple (count, running mean, sum of squared deviations). JSON encodes
+// float64 values exactly (shortest round-trip form), so a state written
+// to a checkpoint and read back reconstructs the accumulator
+// bit-for-bit.
+type MeanState struct {
+	N    int     `json:"n"`
+	Mean float64 `json:"mean"`
+	M2   float64 `json:"m2"`
+}
+
+// State exports the accumulator for checkpointing.
+func (m Mean) State() MeanState { return MeanState{N: m.n, Mean: m.mean, M2: m.m2} }
+
+// MeanFromState reconstructs an accumulator from an exported state.
+func MeanFromState(s MeanState) Mean { return Mean{n: s.N, mean: s.Mean, m2: s.M2} }
+
 // Add folds a sample into the accumulator.
 func (m *Mean) Add(x float64) {
 	m.n++

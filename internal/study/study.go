@@ -8,6 +8,11 @@
 // per-scenario comparisons (which policy wins on how many scenarios),
 // which is far more sensitive than comparing means across a
 // heterogeneous population.
+//
+// This package is the in-memory view: it keeps every per-scenario
+// value, which is convenient for small studies and tests. Large or
+// resumable studies should use internal/population directly, which
+// streams the same cells into constant-size aggregates.
 package study
 
 import (
@@ -17,30 +22,17 @@ import (
 
 	"bce/internal/client"
 	"bce/internal/metrics"
+	"bce/internal/population"
 	"bce/internal/runner"
 	"bce/internal/scenario"
 	"bce/internal/stats"
 )
 
 // Combo is one policy combination under study.
-type Combo struct {
-	Sched string // "JS-LOCAL", "JS-GLOBAL", "JS-WRR", "JS-LLF"
-	Fetch string // "JF-ORIG", "JF-HYSTERESIS", "JF-SPREAD"
-}
-
-// String returns "sched/fetch".
-func (c Combo) String() string { return c.Sched + "/" + c.Fetch }
+type Combo = population.Combo
 
 // DefaultCombos is the policy matrix the paper's variants span.
-func DefaultCombos() []Combo {
-	return []Combo{
-		{"JS-LOCAL", "JF-ORIG"},
-		{"JS-LOCAL", "JF-HYSTERESIS"},
-		{"JS-GLOBAL", "JF-ORIG"},
-		{"JS-GLOBAL", "JF-HYSTERESIS"},
-		{"JS-WRR", "JF-HYSTERESIS"},
-	}
-}
+func DefaultCombos() []Combo { return population.DefaultCombos() }
 
 // Result holds per-scenario metric values for every combo.
 type Result struct {
@@ -60,9 +52,8 @@ func Run(samples []*scenario.Scenario, combos []Combo) (*Result, error) {
 	return RunContext(context.Background(), samples, combos)
 }
 
-// comboConfig builds the config for one (scenario, combo) cell. It is
-// called once up front for validation and again inside the worker, so
-// every run gets its own fresh host/project state.
+// comboConfig builds the config for one (scenario, combo) cell; it is
+// used here only to validate every cell up front.
 func comboConfig(base *scenario.Scenario, combo Combo) (client.Config, error) {
 	s := *base
 	s.Policies.JobSched = combo.Sched
@@ -70,10 +61,10 @@ func comboConfig(base *scenario.Scenario, combo Combo) (client.Config, error) {
 	return s.Config()
 }
 
-// RunContext evaluates every (combo, scenario) cell on the engine's
-// worker pool. Configuration errors abort the study up front;
-// emulation failures are tolerated and counted per combo, exactly like
-// the sequential path. Cell values are collected in (combo, scenario)
+// RunContext evaluates every (combo, scenario) cell on the streaming
+// population engine and materializes the per-scenario values.
+// Configuration errors abort the study up front; emulation failures are
+// tolerated and counted per combo. Cell values are folded in scenario
 // order, so results are identical for any worker count.
 func RunContext(ctx context.Context, samples []*scenario.Scenario, combos []Combo, opts ...runner.Option) (*Result, error) {
 	if len(samples) == 0 {
@@ -82,41 +73,43 @@ func RunContext(ctx context.Context, samples []*scenario.Scenario, combos []Comb
 	if len(combos) == 0 {
 		combos = DefaultCombos()
 	}
+	for _, combo := range combos {
+		for _, base := range samples {
+			if _, err := comboConfig(base, combo); err != nil {
+				return nil, fmt.Errorf("study: scenario %s with %s: %w", base.Name, combo, err)
+			}
+		}
+	}
+	cells := make([][][5]float64, len(combos))
+	failed := make([]int, len(combos))
+	for c := range cells {
+		cells[c] = make([][5]float64, len(samples))
+	}
+	p := population.Params{
+		Combos:    combos,
+		Scenarios: len(samples),
+		Source:    func(i int) (*scenario.Scenario, error) { return samples[i], nil },
+		OnCell: func(scenarioIdx, comboIdx int, vals [population.NumMetrics]float64, fail bool) {
+			if fail {
+				failed[comboIdx]++
+				cells[comboIdx][scenarioIdx] = [5]float64{-1, -1, -1, -1, -1} // sentinel, excluded below
+				return
+			}
+			cells[comboIdx][scenarioIdx] = vals
+		},
+	}
+	if _, err := population.Run(ctx, p, opts...); err != nil {
+		return nil, err
+	}
 	res := &Result{
 		Combos:    combos,
 		Scenarios: len(samples),
 		Values:    make(map[Combo][][5]float64),
 		Failed:    make(map[Combo]int),
 	}
-	specs := make([]runner.Spec, 0, len(combos)*len(samples))
-	for _, combo := range combos {
-		for _, base := range samples {
-			if _, err := comboConfig(base, combo); err != nil {
-				return nil, fmt.Errorf("study: scenario %s with %s: %w", base.Name, combo, err)
-			}
-			combo, base := combo, base
-			specs = append(specs, runner.Spec{
-				Label: fmt.Sprintf("%s/%s", base.Name, combo),
-				Make:  func() (client.Config, error) { return comboConfig(base, combo) },
-			})
-		}
-	}
-	results, err := runner.Batch(ctx, specs, opts...)
-	if err != nil {
-		return nil, err
-	}
-	for ci, combo := range combos {
-		vals := make([][5]float64, 0, len(samples))
-		for si := range samples {
-			r := results[ci*len(samples)+si]
-			if r.Err != nil {
-				res.Failed[combo]++
-				vals = append(vals, [5]float64{-1, -1, -1, -1, -1}) // sentinel, excluded below
-				continue
-			}
-			vals = append(vals, r.Result.Metrics.Values())
-		}
-		res.Values[combo] = vals
+	for c, combo := range combos {
+		res.Values[combo] = cells[c]
+		res.Failed[combo] += failed[c]
 	}
 	return res, nil
 }

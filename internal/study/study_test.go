@@ -8,7 +8,7 @@ import (
 	"bce/internal/stats"
 )
 
-func population(n int) []*scenario.Scenario {
+func samplePop(n int) []*scenario.Scenario {
 	rng := stats.NewRNG(9)
 	out := make([]*scenario.Scenario, n)
 	for i := range out {
@@ -21,7 +21,7 @@ func TestRunDefaults(t *testing.T) {
 	if testing.Short() {
 		t.Skip("emulation-heavy")
 	}
-	res, err := Run(population(4), nil)
+	res, err := Run(samplePop(4), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,10 +52,10 @@ func TestPairedWinsIdenticalCombosTie(t *testing.T) {
 		t.Skip("emulation-heavy")
 	}
 	combos := []Combo{
-		{"JS-LOCAL", "JF-HYSTERESIS"},
-		{"JS-LOCAL", "JF-HYSTERESIS"},
+		{Sched: "JS-LOCAL", Fetch: "JF-HYSTERESIS"},
+		{Sched: "JS-LOCAL", Fetch: "JF-HYSTERESIS"},
 	}
-	res, err := Run(population(3), combos)
+	res, err := Run(samplePop(3), combos)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,10 +72,10 @@ func TestPairedWinsDirection(t *testing.T) {
 	// JF-ORIG vs JF-HYSTERESIS on RPCs/job (metric 4): hysteresis
 	// should win on most multi-project scenarios.
 	combos := []Combo{
-		{"JS-LOCAL", "JF-HYSTERESIS"},
-		{"JS-LOCAL", "JF-ORIG"},
+		{Sched: "JS-LOCAL", Fetch: "JF-HYSTERESIS"},
+		{Sched: "JS-LOCAL", Fetch: "JF-ORIG"},
 	}
-	res, err := Run(population(6), combos)
+	res, err := Run(samplePop(6), combos)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,9 +89,9 @@ func TestTables(t *testing.T) {
 	if testing.Short() {
 		t.Skip("emulation-heavy")
 	}
-	res, err := Run(population(2), []Combo{
-		{"JS-LOCAL", "JF-HYSTERESIS"},
-		{"JS-GLOBAL", "JF-HYSTERESIS"},
+	res, err := Run(samplePop(2), []Combo{
+		{Sched: "JS-LOCAL", Fetch: "JF-HYSTERESIS"},
+		{Sched: "JS-GLOBAL", Fetch: "JF-HYSTERESIS"},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -106,19 +106,19 @@ func TestTables(t *testing.T) {
 	if !strings.Contains(wins, "paired wins") || !strings.Contains(wins, "baseline") {
 		t.Fatalf("wins table malformed:\n%s", wins)
 	}
-	if (&Result{Combos: []Combo{{"a", "b"}}}).WinsTable(0) != "" {
+	if (&Result{Combos: []Combo{{Sched: "a", Fetch: "b"}}}).WinsTable(0) != "" {
 		t.Fatal("single-combo wins table should be empty")
 	}
 }
 
 func TestComboString(t *testing.T) {
-	if (Combo{"JS-WRR", "JF-ORIG"}).String() != "JS-WRR/JF-ORIG" {
+	if (Combo{Sched: "JS-WRR", Fetch: "JF-ORIG"}).String() != "JS-WRR/JF-ORIG" {
 		t.Fatal("combo formatting")
 	}
 }
 
 func TestBadComboRejected(t *testing.T) {
-	_, err := Run(population(1), []Combo{{"JS-NOPE", "JF-ORIG"}})
+	_, err := Run(samplePop(1), []Combo{{Sched: "JS-NOPE", Fetch: "JF-ORIG"}})
 	if err == nil {
 		t.Fatal("unknown policy accepted")
 	}

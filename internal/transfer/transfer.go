@@ -10,7 +10,8 @@
 // deadline-first on the owning job's deadline). Network unavailability
 // pauses the active transfer, preserving partial progress. Zero
 // bandwidth means an infinitely fast link: transfers complete on the
-// next event, which reproduces the paper's baseline assumption.
+// next event while the network is up (and queue until it comes back
+// otherwise), which reproduces the paper's baseline assumption.
 package transfer
 
 import (
@@ -121,23 +122,13 @@ func New(s *sim.Simulator, downBps, upBps float64, policy Policy) *Manager {
 }
 
 // Enqueue adds a transfer; its Done callback fires (via a simulator
-// event) when the last byte arrives.
+// event) when the last byte arrives. Even infinitely-fast transfers go
+// through the queue, so they respect SetOnline(false) and are released
+// on resume like any other transfer.
 func (m *Manager) Enqueue(dir Direction, t *Transfer) {
 	t.remaining = t.Bytes
 	t.seq = m.seq
 	m.seq++
-	if m.bps[dir] <= 0 || t.Bytes <= 0 {
-		// Infinitely fast link (the paper's baseline): complete on the
-		// next event so callers never re-enter synchronously.
-		m.sim.After(0, func() {
-			m.Completed[dir]++
-			m.BytesMoved[dir] += t.Bytes
-			if t.Done != nil {
-				t.Done()
-			}
-		})
-		return
-	}
 	m.queue[dir] = append(m.queue[dir], t)
 	m.startNext(dir)
 }
@@ -173,10 +164,12 @@ func (m *Manager) pause(dir Direction) {
 	if t == nil {
 		return
 	}
-	elapsed := m.sim.Now() - m.start[dir]
-	t.remaining -= elapsed * m.bps[dir]
-	if t.remaining < 0 {
-		t.remaining = 0
+	if m.bps[dir] > 0 {
+		elapsed := m.sim.Now() - m.start[dir]
+		t.remaining -= elapsed * m.bps[dir]
+		if t.remaining < 0 {
+			t.remaining = 0
+		}
 	}
 	m.sim.Cancel(m.timer[dir])
 	m.timer[dir] = nil
@@ -227,7 +220,13 @@ func (m *Manager) startNext(dir Direction) {
 	}
 	m.active[dir] = t
 	m.start[dir] = m.sim.Now()
-	dur := t.remaining / m.bps[dir]
+	// Infinitely fast links (bps <= 0, the paper's baseline) and
+	// zero-byte transfers complete on the next event, so callers never
+	// re-enter synchronously.
+	var dur float64
+	if m.bps[dir] > 0 {
+		dur = t.remaining / m.bps[dir]
+	}
 	m.timer[dir] = m.sim.After(dur, func() {
 		m.active[dir] = nil
 		m.timer[dir] = nil

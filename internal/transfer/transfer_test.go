@@ -153,6 +153,54 @@ func TestEnqueueWhileOffline(t *testing.T) {
 	}
 }
 
+// Regression: the infinitely-fast path used to schedule completion
+// unconditionally, so zero-bandwidth transfers completed (and were
+// counted) even while the network was down.
+func TestInfiniteLinkRespectsOffline(t *testing.T) {
+	s := sim.New()
+	m := New(s, 0, 0, FIFO)
+	m.SetOnline(false)
+	var doneAt = -1.0
+	m.Enqueue(Down, &Transfer{Bytes: 500, Done: func() { doneAt = s.Now() }})
+	s.At(5, func() {
+		if m.Completed[Down] != 0 || m.BytesMoved[Down] != 0 || doneAt >= 0 {
+			t.Errorf("transfer completed while offline: completed=%d moved=%v doneAt=%v",
+				m.Completed[Down], m.BytesMoved[Down], doneAt)
+		}
+		if m.QueueLen(Down) != 1 {
+			t.Errorf("QueueLen = %d while offline, want 1", m.QueueLen(Down))
+		}
+	})
+	s.At(9, func() { m.SetOnline(true) })
+	s.Run()
+	if doneAt != 9 {
+		t.Fatalf("finished at %v, want 9 (released on resume)", doneAt)
+	}
+	if m.Completed[Down] != 1 || m.BytesMoved[Down] != 500 {
+		t.Fatalf("counters wrong after resume: %v %v", m.Completed, m.BytesMoved)
+	}
+}
+
+// Going offline mid-completion of an infinitely-fast transfer must not
+// lose it: the pending completion event is canceled and the transfer
+// re-queued with its progress (trivially all of it) intact.
+func TestInfiniteLinkOfflineBeforeCompletionEvent(t *testing.T) {
+	s := sim.New()
+	m := New(s, 0, 0, FIFO)
+	done := false
+	m.Enqueue(Up, &Transfer{Bytes: 100, Done: func() { done = true }})
+	// Same sim time, but queued before the completion event fires.
+	m.SetOnline(false)
+	s.At(3, func() { m.SetOnline(true) })
+	s.Run()
+	if !done {
+		t.Fatal("transfer lost across offline toggle")
+	}
+	if m.Completed[Up] != 1 {
+		t.Fatalf("Completed = %d, want 1", m.Completed[Up])
+	}
+}
+
 func TestQueueLen(t *testing.T) {
 	s := sim.New()
 	m := New(s, 100, 100, FIFO)

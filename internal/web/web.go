@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"bce/internal/metrics"
+	"bce/internal/population"
 	"bce/internal/runner"
 	"bce/internal/scenario"
 )
@@ -58,6 +59,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", s.index)
 	mux.HandleFunc("/run", s.run)
+	mux.HandleFunc("/study", s.study)
 	return mux
 }
 
@@ -88,6 +90,15 @@ behaviour and report the figures of merit.</p>
 <label>seed: <input name="seed" value="1" size="6"></label>
 </p>
 <p><input type="submit" value="Emulate"></p>
+</form>
+<h2>Population study</h2>
+<p>Or sample a population of synthetic scenarios and compare the
+standard policy combinations over all of them (paper §6.2).</p>
+<form method="post" action="/study">
+<label>scenarios: <input name="n" value="30" size="4"></label>
+<label>days each: <input name="days" value="0.5" size="4"></label>
+<label>seed: <input name="seed" value="1" size="6"></label>
+<input type="submit" value="Run study">
 </form>
 </body></html>`))
 
@@ -231,6 +242,96 @@ func (s *Server) run(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
 	resultTmpl.Execute(w, data)
+}
+
+var studyTmpl = template.Must(template.New("study").Parse(`<!doctype html>
+<html><head><title>BCE population study</title>
+<style>
+ body { font-family: sans-serif; max-width: 72em; margin: 2em auto; }
+ pre { background: #f7f7f7; padding: 1em; overflow-x: auto; }
+</style></head>
+<body>
+<h1>Population study</h1>
+<p>{{.N}} sampled scenarios of {{.Days}} days each, seed {{.Seed}}.</p>
+<h2>Population means (95% CI)</h2>
+<pre>{{.Table}}</pre>
+<h2>share_violation quantiles</h2>
+<pre>{{.Quantiles}}</pre>
+<h2>Paired wins</h2>
+<pre>{{.Wins}}</pre>
+<p><a href="/">back</a></p>
+</body></html>`))
+
+// Caps on web-triggered studies: each cell is a full emulation, so the
+// request must stay a small multiple of a single /run.
+const (
+	maxStudyScenarios = 200
+	maxStudyDays      = 2.0
+)
+
+// studyParams parses and clamps the study form fields.
+func studyParams(nStr, daysStr, seedStr string) (n int, days float64, seed int64) {
+	n, days, seed = 30, 0.5, 1
+	if v, err := strconv.Atoi(nStr); err == nil && v > 0 {
+		n = v
+	}
+	if n > maxStudyScenarios {
+		n = maxStudyScenarios
+	}
+	if v, err := strconv.ParseFloat(daysStr, 64); err == nil && v > 0 {
+		days = v
+	}
+	if days > maxStudyDays {
+		days = maxStudyDays
+	}
+	if v, err := strconv.ParseInt(seedStr, 10, 64); err == nil {
+		seed = v
+	}
+	return n, days, seed
+}
+
+// study runs a small streaming population study (paper §6.2) under the
+// request context and renders the aggregate tables.
+func (s *Server) study(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	n, days, seed := studyParams(r.FormValue("n"), r.FormValue("days"), r.FormValue("seed"))
+
+	ctx := r.Context()
+	if s.RunTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.RunTimeout)
+		defer cancel()
+	}
+	st, err := population.Run(ctx, population.Params{
+		Scenarios:  n,
+		Seed:       seed,
+		Population: scenario.PopulationParams{DurationDays: days},
+	})
+	if err != nil {
+		switch {
+		case r.Context().Err() != nil:
+			// Client is gone; nobody is listening for the response.
+		case errors.Is(err, context.DeadlineExceeded):
+			http.Error(w, fmt.Sprintf("study exceeded the server's %v limit; reduce scenarios or days", s.RunTimeout),
+				http.StatusGatewayTimeout)
+		default:
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+		return
+	}
+	s.mu.Lock()
+	s.runs++
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	studyTmpl.Execute(w, struct {
+		N                      int
+		Days                   float64
+		Seed                   int64
+		Table, Quantiles, Wins string
+	}{n, days, seed, st.Table(), st.QuantileTable(2), st.WinsTable(2) + "\n" + st.WinsTable(4)})
 }
 
 // parseUpload accepts either a client_state.xml or a JSON scenario.

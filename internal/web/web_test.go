@@ -185,6 +185,54 @@ func TestRunAbandonedRequest(t *testing.T) {
 	}
 }
 
+func TestStudyEndpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("emulation-heavy")
+	}
+	s := NewServer("")
+	req := httptest.NewRequest("POST", "/study", strings.NewReader(url.Values{
+		"n":    {"3"},
+		"days": {"0.2"},
+		"seed": {"5"},
+	}.Encode()))
+	req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+	rr := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rr, req)
+	if rr.Code != 200 {
+		t.Fatalf("status %d: %s", rr.Code, rr.Body.String())
+	}
+	body := rr.Body.String()
+	for _, want := range []string{"3 sampled scenarios", "Population means", "JS-LOCAL/JF-ORIG", "paired wins", "quantiles"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("study page missing %q:\n%s", want, body)
+		}
+	}
+	if s.Runs() != 1 {
+		t.Fatalf("Runs() = %d, want 1", s.Runs())
+	}
+}
+
+func TestStudyRejectsGET(t *testing.T) {
+	rr := httptest.NewRecorder()
+	NewServer("").Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/study", nil))
+	if rr.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /study status %d", rr.Code)
+	}
+}
+
+// The scenario and duration caps bound a web-triggered study even when
+// the form asks for more.
+func TestStudyCapsInputs(t *testing.T) {
+	n, days, seed := studyParams("999999", "50", "9")
+	if n != maxStudyScenarios || days != maxStudyDays || seed != 9 {
+		t.Fatalf("params = %d/%g/%d, want clamped to %d/%g/9", n, days, seed, maxStudyScenarios, maxStudyDays)
+	}
+	n, days, seed = studyParams("", "-3", "junk")
+	if n != 30 || days != 0.5 || seed != 1 {
+		t.Fatalf("defaults = %d/%g/%d, want 30/0.5/1", n, days, seed)
+	}
+}
+
 // A run that exceeds the server-side wall-clock cap gets a 504.
 func TestRunTimeout(t *testing.T) {
 	srv := NewServer("")
