@@ -1,13 +1,20 @@
 // Command bcelint runs BCE's determinism-enforcing analyzer suite
 // (internal/analyzers) over the module: nowalltime, seededrand,
-// mapiter and ctxpass. CI runs it as `go run ./cmd/bcelint ./...`; a
-// non-empty report exits 1.
+// mapiter, ctxpass, seedderive and errdrop, with interprocedural fact
+// propagation surfacing laundered violations at the governed call site
+// (see DESIGN.md §10). CI runs it as `go run ./cmd/bcelint -json ./...`;
+// a non-empty report exits 1.
+//
+// With -json, each diagnostic is one JSON object per line (analyzer,
+// position, message, call chain) for CI annotations and editors; plain
+// text renders the chain indented under the finding.
 //
 // Analyzers see only non-test Go files — tests may use wall time and
 // ad-hoc seeded RNGs freely.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -15,9 +22,33 @@ import (
 	"bce/internal/analyzers"
 )
 
+// jsonPos is a diagnostic or chain-step position in the -json stream.
+type jsonPos struct {
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+}
+
+// jsonStep is one hop of a laundered-fact call chain.
+type jsonStep struct {
+	Func string  `json:"func"`
+	Pos  jsonPos `json:"pos"`
+	What string  `json:"what"`
+}
+
+// jsonDiag is the one-object-per-line shape CI and editors consume.
+type jsonDiag struct {
+	Analyzer string     `json:"analyzer"`
+	Pos      jsonPos    `json:"pos"`
+	Message  string     `json:"message"`
+	Chain    []jsonStep `json:"chain,omitempty"`
+}
+
 func main() {
+	jsonOut := flag.Bool("json", false,
+		"emit one JSON diagnostic object per line (analyzer, pos, message, chain)")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: bcelint [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: bcelint [-json] [packages]\n\n")
 		for _, rule := range analyzers.Suite() {
 			fmt.Fprintf(flag.CommandLine.Output(), "  %-12s %s\n", rule.Analyzer.Name, rule.Analyzer.Doc)
 		}
@@ -33,8 +64,33 @@ func main() {
 		fmt.Fprintln(os.Stderr, "bcelint:", err)
 		os.Exit(2)
 	}
-	for _, d := range diags {
-		fmt.Println(d)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		for _, d := range diags {
+			jd := jsonDiag{
+				Analyzer: d.Analyzer,
+				Pos:      jsonPos{File: d.Pos.Filename, Line: d.Pos.Line, Col: d.Pos.Column},
+				Message:  d.Message,
+			}
+			for _, s := range d.Chain {
+				jd.Chain = append(jd.Chain, jsonStep{
+					Func: s.Func,
+					Pos:  jsonPos{File: s.Pos.Filename, Line: s.Pos.Line, Col: s.Pos.Column},
+					What: s.What,
+				})
+			}
+			if err := enc.Encode(jd); err != nil {
+				fmt.Fprintln(os.Stderr, "bcelint:", err)
+				os.Exit(2)
+			}
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+			for _, s := range d.Chain {
+				fmt.Printf("\t%s (%s): %s\n", s.Func, s.Pos, s.What)
+			}
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "bcelint: %d determinism violation(s)\n", len(diags))

@@ -13,6 +13,11 @@
 // annotation must be matched. Either direction of drift fails the
 // test, so an analyzer whose diagnostics regress cannot pass its
 // golden suite.
+//
+// Run checks a single golden package with direct analyzer passes;
+// RunModule loads a whole mini-module (its own go.mod under testdata)
+// and runs scoped rules through the interprocedural fact engine, so
+// golden files can assert laundered-violation chains too.
 package analysistest
 
 import (
@@ -40,6 +45,12 @@ type expectation struct {
 func parseWants(t *testing.T, pkg *analyzers.Package) map[token.Position][]*expectation {
 	t.Helper()
 	wants := make(map[token.Position][]*expectation)
+	addWants(t, pkg, wants)
+	return wants
+}
+
+func addWants(t *testing.T, pkg *analyzers.Package, wants map[token.Position][]*expectation) {
+	t.Helper()
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -59,7 +70,6 @@ func parseWants(t *testing.T, pkg *analyzers.Package) map[token.Position][]*expe
 			}
 		}
 	}
-	return wants
 }
 
 // splitPatterns parses the space-separated quoted regexps after
@@ -107,6 +117,43 @@ func Run(t *testing.T, a *analyzers.Analyzer, dir string) {
 		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
 	}
 	wants := parseWants(t, pkg)
+	for _, d := range diags {
+		key := token.Position{Filename: d.Pos.Filename, Line: d.Pos.Line}
+		if !claim(wants[key], d.Message) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for key, exps := range wants {
+		for _, exp := range exps {
+			if !exp.matched {
+				t.Errorf("%s: no diagnostic matching %q", fmt.Sprintf("%s:%d", key.Filename, key.Line), exp.raw)
+			}
+		}
+	}
+}
+
+// RunModule loads the golden mini-module rooted at dir (its own
+// go.mod, several packages) and applies the rules through the full
+// interprocedural engine — direct passes plus call-graph fact
+// propagation — checking `// want` annotations across every package.
+// Interprocedural diagnostics embed the laundering chain in the
+// message, so annotations can (and should) assert the chain:
+//
+//	return helper.Elapsed() // want `helper\.Elapsed → helper\.stamp → time\.Now`
+func RunModule(t *testing.T, rules []analyzers.Rule, dir string) {
+	t.Helper()
+	pkgs, err := analyzers.Load(dir, []string{"./..."})
+	if err != nil {
+		t.Fatalf("loading golden module %s: %v", dir, err)
+	}
+	diags, err := analyzers.RunRules(pkgs, rules)
+	if err != nil {
+		t.Fatalf("running rules on %s: %v", dir, err)
+	}
+	wants := make(map[token.Position][]*expectation)
+	for _, pkg := range pkgs {
+		addWants(t, pkg, wants)
+	}
 	for _, d := range diags {
 		key := token.Position{Filename: d.Pos.Filename, Line: d.Pos.Line}
 		if !claim(wants[key], d.Message) {

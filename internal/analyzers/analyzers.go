@@ -3,7 +3,7 @@
 // standard library alone (go/ast + go/types + gc export data via `go
 // list -export`), because the module is intentionally dependency-free.
 //
-// Four analyzers enforce the determinism contract the paper's
+// Six analyzers enforce the determinism contract the paper's
 // methodology rests on (see DESIGN.md §10):
 //
 //   - nowalltime: wall-clock time must not leak into the emulation —
@@ -14,10 +14,21 @@
 //     whose iteration order is deliberately randomized by the runtime.
 //   - ctxpass: library code threads the caller's context instead of
 //     minting context.Background()/TODO().
+//   - seedderive: ad-hoc seed arithmetic (seed+i, seed*k, seed^h)
+//     flowing into an RNG constructor or Seed field must go through
+//     runner.DeriveSeed instead.
+//   - errdrop: library code must not silently discard errors.
+//
+// The first three also propagate interprocedurally: a module-wide call
+// graph and fact store (facts.go) surface a wall-clock read, global
+// rand draw, or map range buried in an out-of-scope helper at the
+// governed call site, with the full call chain.
 //
 // Escape hatches are directive comments: //bce:wallclock,
-// //bce:unordered and //bce:ctxshim, honored on the flagged line, the
-// line above it, or the enclosing function's doc comment.
+// //bce:unordered, //bce:ctxshim, //bce:seedok and //bce:errok,
+// honored on the flagged line, the line above it, the enclosing
+// function's doc comment, or (for closures) the function literal's
+// opening line or the line above it.
 package analyzers
 
 import (
@@ -36,11 +47,23 @@ type Analyzer struct {
 	Run  func(*Pass) error
 }
 
-// Diagnostic is one reported finding.
+// Diagnostic is one reported finding. Interprocedural findings (a
+// determinism fact laundered through helper calls, see facts.go) carry
+// the call chain from the flagged call site down to the root primitive.
 type Diagnostic struct {
 	Analyzer string
 	Pos      token.Position
 	Message  string
+	Chain    []ChainStep
+}
+
+// ChainStep is one hop of a laundered-fact call chain: inside Func, at
+// Pos, What happens (a call to the next function in the chain, or the
+// root primitive itself).
+type ChainStep struct {
+	Func string
+	Pos  token.Position
+	What string
 }
 
 func (d Diagnostic) String() string {
@@ -70,18 +93,23 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // Allowed reports whether the position is covered by the given
 // directive marker (e.g. "wallclock" for //bce:wallclock): a marker
-// comment on the same line, on the line immediately above, or in the
-// doc comment of the enclosing function declaration.
+// comment on the same line, on the line immediately above, in the doc
+// comment of the enclosing function declaration, or on (or immediately
+// above) the opening line of an enclosing function literal.
 func (p *Pass) Allowed(marker string, pos token.Pos) bool {
 	if p.markers == nil {
 		p.markers = indexMarkers(p.Fset, p.Files)
 	}
-	where := p.Fset.Position(pos)
+	return p.markers.allows(p.Fset, marker, pos)
+}
+
+func (idx *markerIndex) allows(fset *token.FileSet, marker string, pos token.Pos) bool {
+	where := fset.Position(pos)
 	key := markerKey{file: where.Filename, marker: marker}
-	if lines := p.markers.lines[key]; lines[where.Line] || lines[where.Line-1] {
+	if lines := idx.lines[key]; lines[where.Line] || lines[where.Line-1] {
 		return true
 	}
-	for _, s := range p.markers.funcs[key] {
+	for _, s := range idx.funcs[key] {
 		if s.from <= where.Line && where.Line <= s.to {
 			return true
 		}
@@ -130,14 +158,17 @@ func indexMarkers(fset *token.FileSet, files []*ast.File) *markerIndex {
 	}
 	for _, f := range files {
 		fileName := fset.Position(f.Pos()).Filename
+		markersAt := make(map[int][]string) // line -> directive names on it
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
+				line := fset.Position(c.Pos()).Line
 				for _, m := range markersIn(&ast.CommentGroup{List: []*ast.Comment{c}}) {
 					key := markerKey{file: fileName, marker: m}
 					if idx.lines[key] == nil {
 						idx.lines[key] = make(map[int]bool)
 					}
-					idx.lines[key][fset.Position(c.Pos()).Line] = true
+					idx.lines[key][line] = true
+					markersAt[line] = append(markersAt[line], m)
 				}
 			}
 		}
@@ -155,6 +186,25 @@ func indexMarkers(fset *token.FileSet, files []*ast.File) *markerIndex {
 				idx.funcs[key] = append(idx.funcs[key], span)
 			}
 		}
+		// Function literals have no doc comment in the AST, so a marker
+		// on the literal's opening line (or the line above it) covers
+		// the whole literal body — without this, a directive on a
+		// closure would only bless the opening line itself.
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			span := lineSpan{
+				from: fset.Position(lit.Pos()).Line,
+				to:   fset.Position(lit.End()).Line,
+			}
+			for _, m := range append(markersAt[span.from], markersAt[span.from-1]...) {
+				key := markerKey{file: fileName, marker: m}
+				idx.funcs[key] = append(idx.funcs[key], span)
+			}
+			return true
+		})
 	}
 	return idx
 }
@@ -168,6 +218,22 @@ func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
 	}
 	fn, _ := info.Uses[sel.Sel].(*types.Func)
 	return fn
+}
+
+// staticCallee resolves a call through either a plain identifier
+// (same-package helper()) or a selector (pkg.F, recv.M) to the
+// *types.Func it names, or nil for calls of function values, builtins
+// and type conversions.
+func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
 }
 
 // isPackageLevel reports whether fn is a package-level function (not a

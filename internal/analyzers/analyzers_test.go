@@ -27,3 +27,28 @@ func TestMapIter(t *testing.T) {
 func TestCtxPass(t *testing.T) {
 	analysistest.Run(t, analyzers.CtxPass, golden("ctxpass"))
 }
+
+func TestSeedDerive(t *testing.T) {
+	analysistest.Run(t, analyzers.SeedDerive, golden("seedderive"))
+}
+
+func TestErrDrop(t *testing.T) {
+	analysistest.Run(t, analyzers.ErrDrop, golden("errdrop"))
+}
+
+// TestInterprocedural runs the fact engine over the interp golden
+// mini-module: interp/core is the only in-scope package, so every
+// laundered wall-clock read, global rand draw, and map range in
+// interp/helper must surface at the core call site, exactly once, with
+// the full chain in the message. The module includes mutual recursion
+// and a cycle through an interface method, so a fixpoint that fails to
+// terminate hangs this test and a double report fails the want check.
+func TestInterprocedural(t *testing.T) {
+	core := func(path string) bool { return path == "interp/core" }
+	rules := []analyzers.Rule{
+		{Analyzer: analyzers.NoWallTime, Applies: core},
+		{Analyzer: analyzers.SeededRand, Applies: core},
+		{Analyzer: analyzers.MapIter, Applies: core},
+	}
+	analysistest.RunModule(t, rules, golden("interp"))
+}

@@ -1,0 +1,170 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrDrop flags error results that library code silently discards: a
+// call used as a bare statement (including defer and go), or an error
+// result assigned to the blank identifier. A dropped error hides
+// exactly the failures — a checkpoint that didn't persist, a state
+// file that didn't parse — that make emulation results silently wrong.
+// Deliberate drops carry a //bce:errok directive with a justification.
+//
+// Functions that cannot fail in practice are exempt: everything in
+// package fmt (whose error surfaces only for failing writers the
+// caller already owns), and the never-failing writers *bytes.Buffer
+// and *strings.Builder.
+var ErrDrop = &Analyzer{
+	Name: "errdrop",
+	Doc: "forbid silently discarded error results in library code " +
+		"(//bce:errok to justify a deliberate drop)",
+	Run: runErrDrop,
+}
+
+func runErrDrop(pass *Pass) error {
+	pass.inspect(func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok {
+				checkDroppedCall(pass, call)
+			}
+		case *ast.DeferStmt:
+			checkDroppedCall(pass, n.Call)
+		case *ast.GoStmt:
+			checkDroppedCall(pass, n.Call)
+		case *ast.AssignStmt:
+			checkBlankAssign(pass, n)
+		}
+		return true
+	})
+	return nil
+}
+
+// checkDroppedCall reports a call statement whose results include an
+// error nobody looks at.
+func checkDroppedCall(pass *Pass, call *ast.CallExpr) {
+	if !returnsError(pass, call) || errDropExempt(pass, call) {
+		return
+	}
+	if pass.Allowed("errok", call.Pos()) {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"error result of %s silently discarded; handle it, or justify a deliberate drop with //bce:errok",
+		callName(pass, call))
+}
+
+// checkBlankAssign reports error values assigned to the blank
+// identifier straight off a call: x, _ := f() and _ = f().
+func checkBlankAssign(pass *Pass, stmt *ast.AssignStmt) {
+	report := func(call *ast.CallExpr) {
+		if errDropExempt(pass, call) || pass.Allowed("errok", stmt.Pos()) {
+			return
+		}
+		pass.Reportf(stmt.Pos(),
+			"error result of %s discarded into _; handle it, or justify a deliberate drop with //bce:errok",
+			callName(pass, call))
+	}
+	if len(stmt.Rhs) == 1 && len(stmt.Lhs) > 1 {
+		call, ok := ast.Unparen(stmt.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		tuple, ok := pass.TypesInfo.Types[call].Type.(*types.Tuple)
+		if !ok {
+			return
+		}
+		for i, lhs := range stmt.Lhs {
+			if isBlank(lhs) && i < tuple.Len() && isErrorType(tuple.At(i).Type()) {
+				report(call)
+				return
+			}
+		}
+		return
+	}
+	if len(stmt.Rhs) != len(stmt.Lhs) {
+		return
+	}
+	for i, lhs := range stmt.Lhs {
+		if !isBlank(lhs) {
+			continue
+		}
+		call, ok := ast.Unparen(stmt.Rhs[i]).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		if tv, ok := pass.TypesInfo.Types[call]; ok && tv.Type != nil && isErrorType(tv.Type) {
+			report(call)
+		}
+	}
+}
+
+// returnsError reports whether any result of the call is an error.
+func returnsError(pass *Pass, call *ast.CallExpr) bool {
+	tv, ok := pass.TypesInfo.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	if tuple, ok := tv.Type.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			if isErrorType(tuple.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return isErrorType(tv.Type)
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func isErrorType(t types.Type) bool { return types.Identical(t, errorType) }
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// errDropExempt reports whether the callee's error is infallible noise
+// rather than a failure signal: package fmt, and the documented
+// never-failing writers.
+func errDropExempt(pass *Pass, call *ast.CallExpr) bool {
+	fn := staticCallee(pass.TypesInfo, call)
+	if fn == nil {
+		return false
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		return true
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	recv := sig.Recv().Type()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	switch named.Obj().Pkg().Path() + "." + named.Obj().Name() {
+	case "bytes.Buffer", "strings.Builder":
+		return true
+	}
+	return false
+}
+
+// callName renders the called expression for the diagnostic.
+func callName(pass *Pass, call *ast.CallExpr) string {
+	if fn := staticCallee(pass.TypesInfo, call); fn != nil {
+		if fn.Pkg() != nil && fn.Pkg().Path() != pass.Pkg.Path() &&
+			(fn.Type().(*types.Signature).Recv() == nil) {
+			return fn.Pkg().Name() + "." + fn.Name()
+		}
+		return fn.Name()
+	}
+	return types.ExprString(call.Fun)
+}

@@ -1,0 +1,291 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// FactKind identifies one transitive determinism property tracked by
+// the interprocedural engine (modeled on x/tools analysis facts, on
+// the standard library alone). A function carries a fact when its body
+// — or anything it transitively calls inside the module — performs the
+// corresponding primitive without a sanctioning directive at the site.
+type FactKind uint8
+
+const (
+	// FactWallClock: transitively reads the host's wall clock
+	// (time.Now / time.Since / time.Sleep).
+	FactWallClock FactKind = iota
+	// FactGlobalRand: transitively draws from the global math/rand or
+	// math/rand/v2 state.
+	FactGlobalRand
+	// FactMapRange: transitively ranges over a map, whose iteration
+	// order is randomized per run.
+	FactMapRange
+
+	numFactKinds
+)
+
+// factInfo is one function's witness for one fact kind: the site
+// inside the function that causes the fact, and the next function
+// toward the root primitive (nil at the leaf). Witnesses are assigned
+// exactly once, when the fact is first acquired, from a function whose
+// own chain already terminates — so chains are finite even inside
+// call-graph cycles.
+type factInfo struct {
+	has  bool
+	pos  token.Pos   // offending site within the function
+	what string      // leaf only: the root primitive ("time.Now", ...)
+	via  *types.Func // next hop toward the root; nil at the leaf
+}
+
+// factStore holds the computed facts for every module function.
+type factStore struct {
+	graph   *callGraph
+	fset    *token.FileSet
+	markers map[*Package]*markerIndex
+	facts   map[*types.Func]*[numFactKinds]factInfo
+}
+
+func (s *factStore) info(fn *types.Func) *[numFactKinds]factInfo {
+	fi := s.facts[fn]
+	if fi == nil {
+		fi = new([numFactKinds]factInfo)
+		s.facts[fn] = fi
+	}
+	return fi
+}
+
+// computeFacts seeds direct facts from every function body and
+// propagates them through the call graph: strongly connected
+// components are processed in reverse topological order (callees
+// before callers), and within each SCC a worklist iterates to a
+// fixpoint, so mutual recursion — including cycles through interface
+// dispatch — converges with every member carrying the facts reachable
+// from it.
+func computeFacts(pkgs []*Package, graph *callGraph) *factStore {
+	s := &factStore{
+		graph:   graph,
+		markers: make(map[*Package]*markerIndex, len(pkgs)),
+		facts:   make(map[*types.Func]*[numFactKinds]factInfo),
+	}
+	for _, pkg := range pkgs {
+		s.fset = pkg.Fset // Load shares one FileSet across the module
+		s.markers[pkg] = indexMarkers(pkg.Fset, pkg.Files)
+	}
+	for _, n := range graph.order {
+		if n.body != nil {
+			s.seedDirect(n)
+		}
+	}
+	for _, comp := range graph.sccs() {
+		changed := true
+		for changed {
+			changed = false
+			for _, n := range comp {
+				for _, e := range n.out {
+					callee := graph.nodes[e.callee]
+					if callee == nil {
+						continue
+					}
+					from := s.facts[callee.fn]
+					if from == nil {
+						continue
+					}
+					for k := FactKind(0); k < numFactKinds; k++ {
+						if !from[k].has {
+							continue
+						}
+						to := s.info(n.fn)
+						if to[k].has {
+							continue
+						}
+						pos := e.pos
+						if !pos.IsValid() {
+							// CHA interface→implementation edge: anchor
+							// the hop at the implementation itself.
+							pos = callee.fn.Pos()
+						}
+						to[k] = factInfo{has: true, pos: pos, via: callee.fn}
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return s
+}
+
+// seedDirect records the first unallowed primitive of each kind found
+// in the function body.
+func (s *factStore) seedDirect(n *cgNode) {
+	idx := s.markers[n.pkg]
+	info := n.pkg.Info
+	ast.Inspect(n.body, func(node ast.Node) bool {
+		switch node := node.(type) {
+		case *ast.CallExpr:
+			fn := staticCallee(info, node)
+			if fn == nil {
+				return true
+			}
+			switch {
+			case isPackageLevel(fn, "time") && wallClockFuncs[fn.Name()]:
+				if !idx.allows(s.fset, "wallclock", node.Pos()) {
+					s.setDirect(n.fn, FactWallClock, node.Pos(), "time."+fn.Name())
+				}
+			case !randConstructors[fn.Name()] &&
+				(isPackageLevel(fn, "math/rand") || isPackageLevel(fn, "math/rand/v2")):
+				s.setDirect(n.fn, FactGlobalRand, node.Pos(), fn.Pkg().Path()+"."+fn.Name())
+			}
+		case *ast.RangeStmt:
+			tv, ok := info.Types[node.X]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if !idx.allows(s.fset, "unordered", node.Pos()) {
+				s.setDirect(n.fn, FactMapRange, node.Pos(),
+					"range over "+types.TypeString(tv.Type, types.RelativeTo(n.pkg.Types)))
+			}
+		}
+		return true
+	})
+}
+
+func (s *factStore) setDirect(fn *types.Func, k FactKind, pos token.Pos, what string) {
+	fi := s.info(fn)
+	if !fi[k].has {
+		fi[k] = factInfo{has: true, pos: pos, what: what}
+	}
+}
+
+// maxChainLen bounds rendered chains; witness chains are acyclic by
+// construction, this is a belt against pathological depth.
+const maxChainLen = 16
+
+// chain renders the witness path from fn down to the root primitive.
+func (s *factStore) chain(fn *types.Func, k FactKind) []ChainStep {
+	var steps []ChainStep
+	for cur := fn; cur != nil && len(steps) < maxChainLen; {
+		fi := s.facts[cur]
+		if fi == nil || !fi[k].has {
+			break
+		}
+		what := fi[k].what
+		if fi[k].via != nil {
+			what = "calls " + fi[k].via.FullName()
+		}
+		steps = append(steps, ChainStep{
+			Func: cur.FullName(),
+			Pos:  s.fset.Position(fi[k].pos),
+			What: what,
+		})
+		cur = fi[k].via
+	}
+	return steps
+}
+
+// chainSummary is the compact one-line form embedded in messages:
+// "helper.Elapsed → helper.stamp → time.Now".
+func (s *factStore) chainSummary(fn *types.Func, k FactKind) string {
+	parts := []string{fn.FullName()}
+	for cur := fn; len(parts) < maxChainLen; {
+		fi := s.facts[cur]
+		if fi == nil || !fi[k].has {
+			break
+		}
+		if fi[k].via == nil {
+			parts = append(parts, fi[k].what)
+			break
+		}
+		parts = append(parts, fi[k].via.FullName())
+		cur = fi[k].via
+	}
+	return strings.Join(parts, " → ")
+}
+
+// factRule describes how one analyzer consumes the fact store: which
+// kind it propagates and which caller-side directive sanctions a
+// flagged call site.
+type factRule struct {
+	kind   FactKind
+	marker string // "" = no escape hatch
+	format string // Sprintf(format, callee, chain)
+}
+
+var analyzerFacts = map[string]factRule{
+	"nowalltime": {FactWallClock, "wallclock",
+		"call into %s reaches a wall-clock read (%s); use the simulated clock, or annotate a deliberate host-time measurement with //bce:wallclock"},
+	"seededrand": {FactGlobalRand, "",
+		"call into %s reaches the global math/rand state (%s); thread an explicitly seeded internal/stats.RNG instead"},
+	"mapiter": {FactMapRange, "unordered",
+		"call into %s reaches a randomized-order map range (%s) that can diverge replay; sort at the source, or mark an order-insensitive loop there with //bce:unordered"},
+}
+
+// report emits the laundered-fact diagnostics: a call site in a
+// package the rule governs, whose callee carries the fact rooted in a
+// package the rule does not govern (a violation in a governed package
+// is already reported at its source by the direct analyzer, so each
+// violation surfaces exactly once).
+func (s *factStore) report(rules []Rule) []Diagnostic {
+	var out []Diagnostic
+	for _, rule := range rules {
+		fr, ok := analyzerFacts[rule.Analyzer.Name]
+		if !ok {
+			continue
+		}
+		for _, n := range s.graph.order {
+			if n.pkg == nil || !rule.Applies(n.pkg.ImportPath) {
+				continue
+			}
+			for _, e := range n.out {
+				if !e.pos.IsValid() {
+					continue
+				}
+				callee := s.graph.nodes[e.callee]
+				if callee == nil {
+					continue
+				}
+				fi := s.facts[callee.fn]
+				if fi == nil || !fi[fr.kind].has {
+					continue
+				}
+				if rule.Applies(s.rootPath(callee.fn, fr.kind, e.dynamic)) {
+					continue
+				}
+				if fr.marker != "" && s.markers[n.pkg].allows(s.fset, fr.marker, e.pos) {
+					continue
+				}
+				out = append(out, Diagnostic{
+					Analyzer: rule.Analyzer.Name,
+					Pos:      s.fset.Position(e.pos),
+					Message: fmt.Sprintf(fr.format,
+						callee.fn.FullName(), s.chainSummary(callee.fn, fr.kind)),
+					Chain: s.chain(callee.fn, fr.kind),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// rootPath is the package path the scope test runs against. For a
+// static callee that is the callee's own package. An interface method
+// has no body to report in, so a dynamic call is scope-tested against
+// the witness implementation instead.
+func (s *factStore) rootPath(fn *types.Func, k FactKind, dynamic bool) string {
+	if dynamic {
+		if fi := s.facts[fn]; fi != nil && fi[k].via != nil {
+			fn = fi[k].via
+		}
+	}
+	if fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path()
+}

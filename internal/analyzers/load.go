@@ -140,16 +140,40 @@ func typeCheck(fset *token.FileSet, importPath, dir string, fileNames []string, 
 	}, nil
 }
 
+// moduleImporter resolves imports of analyzed (source-checked)
+// packages to their source-checked *types.Package, falling back to gc
+// export data for everything else. Sharing one object universe across
+// the module is what gives the call graph pointer identity: the
+// *types.Func a caller resolves must be the same object the callee's
+// package defined, or interprocedural facts cannot flow.
+type moduleImporter struct {
+	exports *exportImporter
+	source  map[string]*types.Package
+}
+
+func (mi *moduleImporter) Import(path string) (*types.Package, error) {
+	if p := mi.source[path]; p != nil {
+		return p, nil
+	}
+	return mi.exports.Import(path)
+}
+
 // Load type-checks the packages matching the patterns (resolved by the
 // go command from dir; "" means the current directory). Only non-test
-// Go files are analyzed, matching what ships in builds.
+// Go files are analyzed, matching what ships in builds. Packages are
+// checked in dependency order (`go list -deps` emits dependencies
+// first), so every intra-module import resolves to the source-checked
+// package.
 func Load(dir string, patterns []string) ([]*Package, error) {
 	listed, err := goList(dir, patterns)
 	if err != nil {
 		return nil, err
 	}
 	fset := token.NewFileSet()
-	imp := newExportImporter(fset, listed)
+	imp := &moduleImporter{
+		exports: newExportImporter(fset, listed),
+		source:  make(map[string]*types.Package),
+	}
 	var out []*Package
 	for _, p := range listed {
 		if p.DepOnly || p.Standard {
@@ -159,6 +183,7 @@ func Load(dir string, patterns []string) ([]*Package, error) {
 		if err != nil {
 			return nil, err
 		}
+		imp.source[p.ImportPath] = pkg.Types
 		out = append(out, pkg)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ImportPath < out[j].ImportPath })
@@ -227,6 +252,14 @@ func RunAnalyzer(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
 	if err := a.Run(pass); err != nil {
 		return nil, fmt.Errorf("%s on %s: %v", a.Name, pkg.ImportPath, err)
 	}
+	sortDiagnostics(diags)
+	return diags, nil
+}
+
+// sortDiagnostics orders findings by position, then analyzer name, so
+// suite output is stable however the rules and the fact engine
+// interleave.
+func sortDiagnostics(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		pi, pj := diags[i].Pos, diags[j].Pos
 		if pi.Filename != pj.Filename {
@@ -235,7 +268,9 @@ func RunAnalyzer(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
 		if pi.Line != pj.Line {
 			return pi.Line < pj.Line
 		}
-		return pi.Column < pj.Column
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
 	})
-	return diags, nil
 }

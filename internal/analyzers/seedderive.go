@@ -1,0 +1,117 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SeedDerive flags ad-hoc arithmetic flowing into a seed sink: an
+// argument of stats.NewRNG (or rand.NewSource / rand.NewPCG), a
+// `Seed:` field in a composite literal, or an assignment to a field
+// named Seed. Linear derivations like seed+i or seed+h*101 collide
+// across indices — two hosts of one fleet can end up on overlapping
+// RNG streams, which is exactly the bug the fleet package shipped and
+// later fixed by switching to runner.DeriveSeed (a SplitMix64 step).
+// The mixer itself and stats.RNG.Fork are the sanctioned derivations;
+// anything else must call runner.DeriveSeed(base, i), or carry a
+// //bce:seedok directive with a justification.
+var SeedDerive = &Analyzer{
+	Name: "seedderive",
+	Doc: "forbid ad-hoc seed arithmetic (seed+i, seed*k, ...) flowing into RNG " +
+		"constructors or Seed fields; derive with runner.DeriveSeed (//bce:seedok to allow)",
+	Run: runSeedDerive,
+}
+
+// seedArithOps are the operators that make an expression an ad-hoc
+// derivation when applied to non-constant operands.
+var seedArithOps = map[token.Token]bool{
+	token.ADD: true, token.SUB: true, token.MUL: true, token.QUO: true,
+	token.REM: true, token.AND: true, token.OR: true, token.XOR: true,
+	token.SHL: true, token.SHR: true, token.AND_NOT: true,
+}
+
+func runSeedDerive(pass *Pass) error {
+	pass.inspect(func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			fn := staticCallee(pass.TypesInfo, n)
+			if fn == nil || !isSeedSink(fn) {
+				return true
+			}
+			for _, arg := range n.Args {
+				checkSeedExpr(pass, arg, fn.Name())
+			}
+		case *ast.CompositeLit:
+			for _, elt := range n.Elts {
+				kv, ok := elt.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "Seed" {
+					checkSeedExpr(pass, kv.Value, "a Seed field")
+				}
+			}
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				sel, ok := lhs.(*ast.SelectorExpr)
+				if ok && sel.Sel.Name == "Seed" {
+					checkSeedExpr(pass, n.Rhs[i], "a Seed field")
+				}
+			}
+		}
+		return true
+	})
+	return nil
+}
+
+// isSeedSink reports whether fn constructs an RNG (or RNG source)
+// directly from an integer seed.
+func isSeedSink(fn *types.Func) bool {
+	switch fn.Name() {
+	case "NewRNG":
+		return true
+	case "NewSource", "NewPCG":
+		return isPackageLevel(fn, "math/rand") || isPackageLevel(fn, "math/rand/v2")
+	}
+	return false
+}
+
+// checkSeedExpr flags e when, after stripping parens and conversions,
+// it is non-constant integer arithmetic.
+func checkSeedExpr(pass *Pass, e ast.Expr, sink string) {
+	x := unwrapConversions(pass, e)
+	bin, ok := x.(*ast.BinaryExpr)
+	if !ok || !seedArithOps[bin.Op] {
+		return
+	}
+	if tv, ok := pass.TypesInfo.Types[x]; ok && tv.Value != nil {
+		return // constant arithmetic cannot collide per-index
+	}
+	if pass.Allowed("seedok", e.Pos()) {
+		return
+	}
+	pass.Reportf(e.Pos(),
+		"ad-hoc seed arithmetic %s flows into %s; linear derivations collide across indices (the fleet seed+h*101 bug) — use runner.DeriveSeed(base, i), or justify with //bce:seedok",
+		types.ExprString(e), sink)
+}
+
+// unwrapConversions strips parentheses and type conversions:
+// int64(seed+i) exposes seed+i.
+func unwrapConversions(pass *Pass, e ast.Expr) ast.Expr {
+	for {
+		e = ast.Unparen(e)
+		call, ok := e.(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return e
+		}
+		tv, ok := pass.TypesInfo.Types[call.Fun]
+		if !ok || !tv.IsType() {
+			return e
+		}
+		e = call.Args[0]
+	}
+}

@@ -35,6 +35,15 @@ func libraryPackage(importPath string) bool {
 
 func everywhere(string) bool { return true }
 
+// seedDerivePackages excludes the two packages that *define* the
+// blessed derivation primitives: runner.DeriveSeed is the required
+// mixer, and stats.RNG.Fork legitimately mixes a label hash into a
+// child seed. Everywhere else, ad-hoc seed arithmetic is the fleet
+// seed-collision bug class.
+func seedDerivePackages(path string) bool {
+	return path != "bce/internal/runner" && path != "bce/internal/stats"
+}
+
 // Suite returns the determinism rules bcelint and CI enforce.
 func Suite() []Rule {
 	return []Rule{
@@ -42,19 +51,32 @@ func Suite() []Rule {
 		{SeededRand, everywhere},
 		{MapIter, func(path string) bool { return simCorePackages[path] }},
 		{CtxPass, libraryPackage},
+		{SeedDerive, seedDerivePackages},
+		{ErrDrop, libraryPackage},
 	}
 }
 
 // RunSuite loads the packages matching patterns (from dir) and applies
-// every applicable rule, returning all diagnostics in file order.
+// every applicable rule — direct per-package checks plus the
+// interprocedural fact engine — returning all diagnostics in file
+// order.
 func RunSuite(dir string, patterns []string) ([]Diagnostic, error) {
 	pkgs, err := Load(dir, patterns)
 	if err != nil {
 		return nil, err
 	}
+	return RunRules(pkgs, Suite())
+}
+
+// RunRules applies the rules to the loaded packages: every in-scope
+// package gets the direct analyzer passes, then the module-wide call
+// graph and fact store surface laundered violations — a wall-clock
+// read, global rand draw, or map range buried in an out-of-scope
+// helper — at the in-scope call site with the full call chain.
+func RunRules(pkgs []*Package, rules []Rule) ([]Diagnostic, error) {
 	var all []Diagnostic
 	for _, pkg := range pkgs {
-		for _, rule := range Suite() {
+		for _, rule := range rules {
 			if !rule.Applies(pkg.ImportPath) {
 				continue
 			}
@@ -65,5 +87,8 @@ func RunSuite(dir string, patterns []string) ([]Diagnostic, error) {
 			all = append(all, diags...)
 		}
 	}
+	graph := buildCallGraph(pkgs)
+	all = append(all, computeFacts(pkgs, graph).report(rules)...)
+	sortDiagnostics(all)
 	return all, nil
 }

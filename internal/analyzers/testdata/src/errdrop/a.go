@@ -1,0 +1,79 @@
+// Package a is the errdrop golden package: bare call statements,
+// defer/go statements, and blank assignments that drop an error are
+// flagged; handled errors, //bce:errok drops, and the infallible-
+// writer exemptions (fmt, bytes.Buffer, strings.Builder) are not.
+package a
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+func work() error { return errors.New("x") }
+
+func pair() (int, error) { return 0, errors.New("x") }
+
+func bad(f *os.File) {
+	work()         // want `error result of work silently discarded`
+	_ = work()     // want `error result of work discarded into _`
+	n, _ := pair() // want `error result of pair discarded into _`
+	_ = n
+	defer f.Close() // want `error result of Close silently discarded`
+	go work()       // want `error result of work silently discarded`
+	os.Remove("x")  // want `error result of os.Remove silently discarded`
+}
+
+func handled() error {
+	if err := work(); err != nil {
+		return err
+	}
+	n, err := pair()
+	_ = n
+	return err
+}
+
+func allowed(f *os.File) {
+	work() //bce:errok best-effort telemetry write
+	//bce:errok read-side close: the decode above already succeeded
+	f.Close()
+	//bce:errok
+	_ = work()
+}
+
+// cleanup tears down best-effort; the doc directive covers the body.
+//
+//bce:errok
+func cleanup(f *os.File) {
+	f.Close()
+	work()
+}
+
+func closures(f *os.File) {
+	g := func() { //bce:errok directive on the closure covers its body
+		work()
+	}
+	g()
+	h := func() {
+		work() // want `error result of work silently discarded`
+	}
+	h()
+}
+
+func exempt(buf *bytes.Buffer, sb *strings.Builder) {
+	fmt.Println("hi")
+	fmt.Fprintf(buf, "x%d", 1)
+	buf.WriteString("x")
+	sb.WriteByte('x')
+	io.Copy(sb, buf) // want `error result of io.Copy silently discarded`
+}
+
+func noError() {
+	println("builtin, no error")
+	_ = len("x")
+	f := func() int { return 1 }
+	f()
+}

@@ -1,0 +1,57 @@
+// Package core stands in for a sim-core package: the golden test
+// scopes nowalltime, seededrand and mapiter to it alone, so every
+// laundered chain from interp/helper must be reported here, at the
+// call site, exactly once, with the chain in the message.
+package core
+
+import "interp/helper"
+
+func UseElapsed() float64 {
+	return helper.Elapsed() // want `interp/helper\.Elapsed → interp/helper\.stamp → time\.Now`
+}
+
+func UseJitter() float64 {
+	return helper.Jitter() // want `interp/helper\.Jitter → interp/helper\.draw → math/rand\.Float64`
+}
+
+func UseSum(m map[string]float64) float64 {
+	return helper.SumValues(m) // want `interp/helper\.SumValues → range over map\[string\]float64`
+}
+
+// UseBlessed calls a helper whose wall-clock read carries a directive
+// at the source: no fact, no report.
+func UseBlessed() int64 {
+	return helper.Blessed().Unix()
+}
+
+func UseCycle() (float64, float64) {
+	a := helper.Ping(3) // want `interp/helper\.Ping → time\.Now`
+	b := helper.Pong(3) // want `interp/helper\.Pong → interp/helper\.Ping → time\.Now`
+	return a, b
+}
+
+func UseTickerStatic() float64 {
+	return helper.Spin(helper.Clock{}, 2) // want `interp/helper\.Spin → \(interp/helper\.Ticker\)\.Tick → \(interp/helper\.Clock\)\.Tick → time\.Now`
+}
+
+func UseTickerDynamic(t helper.Ticker) float64 {
+	return t.Tick(1) // want `\(interp/helper\.Ticker\)\.Tick → \(interp/helper\.Clock\)\.Tick → time\.Now`
+}
+
+// AllowedCallSite blesses the laundered read at the call site; the
+// function-doc directive covers the body.
+//
+//bce:wallclock demo driver shows real elapsed time
+func AllowedCallSite() float64 {
+	return helper.Elapsed()
+}
+
+// AllowedClosure pins the FuncLit directive fix in the
+// interprocedural path: the marker above the literal covers the
+// laundered call inside it.
+func AllowedClosure() func() float64 {
+	//bce:wallclock profiling closure measures host time
+	return func() float64 {
+		return helper.Elapsed()
+	}
+}

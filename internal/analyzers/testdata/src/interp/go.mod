@@ -1,0 +1,3 @@
+module interp
+
+go 1.22

@@ -1,0 +1,51 @@
+// Package helper is deliberately *outside* the scope the
+// interprocedural golden test governs: nothing here is flagged
+// directly. Every unsanctioned primitive below seeds a fact that must
+// surface in interp/core, at the call site, with the full chain.
+package helper
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Elapsed launders a wall-clock read behind one more call.
+func Elapsed() float64 { return stamp() }
+
+func stamp() float64 { return float64(time.Now().UnixNano()) }
+
+// Jitter launders a global math/rand draw.
+func Jitter() float64 { return draw() }
+
+func draw() float64 { return rand.Float64() }
+
+// SumValues ranges over a map without sorting.
+func SumValues(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+// Blessed reads host time deliberately; the directive stops the fact
+// at its source, so callers stay clean.
+//
+//bce:wallclock upload timestamps are real time by definition
+func Blessed() time.Time { return time.Now() }
+
+// Ping and Pong are mutually recursive: the wall-clock fact must reach
+// both through the cycle, and the fixpoint must terminate.
+func Ping(n int) float64 {
+	if n == 0 {
+		return float64(time.Now().Unix())
+	}
+	return Pong(n - 1)
+}
+
+func Pong(n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	return Ping(n - 1)
+}

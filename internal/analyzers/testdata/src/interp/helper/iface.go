@@ -1,0 +1,26 @@
+package helper
+
+import "time"
+
+// Ticker's Tick is implemented by Clock, whose body calls back through
+// Spin's interface dispatch: a call-graph cycle that exists only via
+// the CHA edges. The engine must still converge and carry the
+// wall-clock fact to every dynamic call site.
+type Ticker interface {
+	Tick(n int) float64
+}
+
+// Clock implements Ticker with a wall-clock read at the base case.
+type Clock struct{}
+
+// Tick recurses through the interface before bottoming out on
+// time.Now.
+func (Clock) Tick(n int) float64 {
+	if n == 0 {
+		return float64(time.Now().UnixNano())
+	}
+	return Spin(Clock{}, n-1)
+}
+
+// Spin dispatches dynamically, closing the cycle.
+func Spin(t Ticker, n int) float64 { return t.Tick(n) }

@@ -30,6 +30,28 @@ func allowedByDoc() time.Duration {
 	return time.Since(start)
 }
 
+// closures pins directive resolution for function literals: a marker
+// on the literal's opening line, or the line above it, covers the
+// whole body — FuncLits have no doc comment for the FuncDecl rule to
+// see.
+func closures() {
+	f := func() { //bce:wallclock timing closure measures host time
+		_ = time.Now()
+		time.Sleep(time.Second)
+	}
+	//bce:wallclock elapsed-time probe
+	g := func() time.Duration {
+		start := time.Now()
+		return time.Since(start)
+	}
+	h := func() {
+		_ = time.Now() // want `wall-clock time\.Now`
+	}
+	f()
+	_ = g()
+	h()
+}
+
 func benign() time.Time {
 	after := time.After // a value reference, not a wall-clock read we police
 	_ = after

@@ -1,0 +1,66 @@
+// Package a is the seedderive golden package: the accept/reject table
+// for seed derivations. DeriveSeed is clean, ad-hoc arithmetic into an
+// RNG constructor or Seed field is flagged — including the exact
+// seed+h*101 shape the fleet package shipped (one emulation per host,
+// seeds seed+0·101, seed+1·101, ... — adjacent hosts landed on
+// correlated rand.Source streams), pinned here as a regression.
+package a
+
+import (
+	"math/rand"
+	rand2 "math/rand/v2"
+
+	"bce/internal/runner"
+	"bce/internal/stats"
+)
+
+// Spec mirrors the shape of client.Config: an int64 Seed field set by
+// callers fanning out runs.
+type Spec struct {
+	Seed int64
+	Name string
+}
+
+func accept(base int64, i, h int) {
+	_ = stats.NewRNG(base)
+	_ = stats.NewRNG(42)
+	_ = stats.NewRNG(runner.DeriveSeed(base, i))
+	_ = stats.NewRNG(runner.DeriveSeed(base, i+1)) // arithmetic feeding the mixer, not the RNG
+	_ = Spec{Seed: runner.DeriveSeed(base, h), Name: "ok"}
+	_ = rand.New(rand.NewSource(base))
+	const k = 100 + 1
+	_ = stats.NewRNG(k + 2) // constant arithmetic cannot collide per-index
+	var s Spec
+	s.Seed = runner.DeriveSeed(base, i)
+	s.Name = "untouched"
+	_ = s
+}
+
+func reject(base, seed int64, i, h int) {
+	_ = stats.NewRNG(base + int64(i))   // want `ad-hoc seed arithmetic`
+	_ = stats.NewRNG(base * 31)         // want `ad-hoc seed arithmetic`
+	_ = stats.NewRNG(base ^ int64(h))   // want `ad-hoc seed arithmetic`
+	_ = stats.NewRNG(int64(i) + base)   // want `ad-hoc seed arithmetic`
+	_ = rand.NewSource(base + int64(i)) // want `ad-hoc seed arithmetic`
+
+	// The pinned fleet regression: Seed: seed + h*101 in a composite
+	// literal, exactly as fleet.EvaluateContext once wrote it.
+	_ = Spec{Seed: seed + int64(h)*101} // want `ad-hoc seed arithmetic`
+
+	var s Spec
+	s.Seed = base + int64(i) // want `ad-hoc seed arithmetic`
+	_ = s
+}
+
+func conversionsDoNotLaunder(base int64, i int) {
+	_ = stats.NewRNG(int64(int(base) + i))         // want `ad-hoc seed arithmetic`
+	_ = stats.NewRNG((base + int64(i)))            // want `ad-hoc seed arithmetic`
+	_ = rand2.NewPCG(uint64(base+1), uint64(base)) // want `ad-hoc seed arithmetic`
+}
+
+// forkEquivalent mixes entropy deliberately, the way stats.RNG.Fork
+// does inside its own (suite-exempt) package; outside that package the
+// escape hatch is the directive.
+func forkEquivalent(entropy, label int64) {
+	_ = stats.NewRNG(entropy ^ label) //bce:seedok label-decorrelated child stream, mirrors stats.RNG.Fork
+}

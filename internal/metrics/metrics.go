@@ -230,7 +230,7 @@ func (r *Recorder) Report() Metrics {
 	n := len(r.shares)
 	if n >= 2 {
 		keys := make([]int, 0, len(r.windows))
-		for k := range r.windows {
+		for k := range r.windows { //bce:unordered collecting keys to sort just below
 			keys = append(keys, k)
 		}
 		sort.Ints(keys)

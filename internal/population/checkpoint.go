@@ -25,13 +25,13 @@ func writeCheckpoint(path string, st *Study) error {
 	if err != nil {
 		return fmt.Errorf("population: checkpoint: %w", err)
 	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	defer os.Remove(tmp.Name()) //bce:errok best-effort cleanup; a no-op after a successful rename
 	if _, err := tmp.Write(blob); err != nil {
-		tmp.Close()
+		tmp.Close() //bce:errok the write error already propagates; this close only releases the fd
 		return fmt.Errorf("population: checkpoint: %w", err)
 	}
 	if err := tmp.Sync(); err != nil {
-		tmp.Close()
+		tmp.Close() //bce:errok the sync error already propagates; this close only releases the fd
 		return fmt.Errorf("population: checkpoint: %w", err)
 	}
 	if err := tmp.Close(); err != nil {

@@ -329,7 +329,7 @@ func LoadFile(path string) (*Scenario, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
+	defer f.Close() //bce:errok read-side close; Load's decode already reported any read failure
 	return Load(f)
 }
 

@@ -57,7 +57,7 @@ func (r *Recorder) Stop(now float64, task string) {
 // rendered ASCII/SVG text order-unstable.
 func (r *Recorder) CloseAll(now float64) {
 	tasks := make([]string, 0, len(r.open))
-	for task := range r.open {
+	for task := range r.open { //bce:unordered collecting keys to sort just below
 		tasks = append(tasks, task)
 	}
 	sort.Strings(tasks)

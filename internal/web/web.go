@@ -131,7 +131,7 @@ func (s *Server) index(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
-	indexTmpl.Execute(w, nil)
+	indexTmpl.Execute(w, nil) //bce:errok headers are sent; a failed render only means the client hung up
 }
 
 // maxLogLines bounds the log excerpt shown on the result page.
@@ -241,7 +241,7 @@ func (s *Server) run(w http.ResponseWriter, r *http.Request) {
 		LogLines:     maxLogLines,
 	}
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
-	resultTmpl.Execute(w, data)
+	resultTmpl.Execute(w, data) //bce:errok headers are sent; a failed render only means the client hung up
 }
 
 var studyTmpl = template.Must(template.New("study").Parse(`<!doctype html>
@@ -326,6 +326,7 @@ func (s *Server) study(w http.ResponseWriter, r *http.Request) {
 	s.runs++
 	s.mu.Unlock()
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	//bce:errok headers are sent; a failed render only means the client hung up
 	studyTmpl.Execute(w, struct {
 		N                      int
 		Days                   float64
@@ -357,8 +358,9 @@ func (s *Server) save(state string) {
 	s.mu.Unlock()
 	//bce:wallclock uploaded state files are stamped with real receipt time
 	name := fmt.Sprintf("upload_%s_%04d.txt", time.Now().UTC().Format("20060102T150405"), n)
+	//bce:errok both drops below: saving uploads is best-effort debugging aid, never worth failing the request
 	_ = os.MkdirAll(s.SaveDir, 0o755)
-	_ = os.WriteFile(filepath.Join(s.SaveDir, name), []byte(state), 0o644)
+	_ = os.WriteFile(filepath.Join(s.SaveDir, name), []byte(state), 0o644) //bce:errok see above
 }
 
 // Runs reports how many emulations the server has performed.
