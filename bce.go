@@ -112,9 +112,20 @@ func RunConfigContext(ctx context.Context, cfg Config) (*Result, error) {
 	return runner.Run(ctx, cfg)
 }
 
-// BatchOption configures RunBatch; see WithWorkers, WithProgress and
-// WithFailFast.
+// BatchOption configures RunBatch; see WithWorkers, WithProgress,
+// WithFailFast and WithBatchOptions.
 type BatchOption = runner.Option
+
+// BatchOptions is the engine's full option set as a struct — the same
+// knobs the With* helpers set one at a time. It is shared by every
+// batch entry point in the module (RunBatch, harness, study, fleet,
+// population), so configuring concurrency means learning exactly one
+// type.
+type BatchOptions = runner.Options
+
+// WithBatchOptions applies every set field of o at once; zero fields
+// keep their defaults.
+func WithBatchOptions(o BatchOptions) BatchOption { return runner.WithOptions(o) }
 
 // BatchProgress is a live snapshot of a batch in flight.
 type BatchProgress = runner.Progress

@@ -1,4 +1,4 @@
-package bce
+package bce_test
 
 // One benchmark per figure in the paper's evaluation (§5), each
 // regenerating the figure's data and reporting its headline numbers as
@@ -6,6 +6,13 @@ package bce
 // itself. Run with:
 //
 //	go test -bench=. -benchmem
+//
+// The hot-path and per-figure benchmarks are DECLARED in internal/perf
+// (the ledger suite `bcectl bench run` executes); the Benchmark*
+// functions here are thin wrappers, so a human's `go test -bench` run
+// and the ledger's are the same code. Benchmarks that only make sense
+// interactively (worker scaling, policy ablations) live here alone;
+// all report allocations and exclude setup from the timed section.
 //
 // The per-figure benches report the reproduced values so a bench run
 // doubles as a reproduction record (see EXPERIMENTS.md).
@@ -15,174 +22,65 @@ import (
 	"fmt"
 	"testing"
 
+	"bce"
 	"bce/internal/emserver"
 	"bce/internal/experiments"
 	"bce/internal/fetch"
 	"bce/internal/fleet"
 	"bce/internal/host"
 	"bce/internal/job"
+	"bce/internal/perf"
 	"bce/internal/project"
 	"bce/internal/sched"
 )
 
-var benchSeeds = []int64{1}
+// Ledger-suite wrappers: the definitions live in internal/perf so
+// `bcectl bench run` measures exactly what `go test -bench` does.
 
-// BenchmarkFig1 regenerates Figure 1 (resource share applies to the
-// host's combined processing resources). Reported metrics: achieved
-// GFLOPS per project (expect ~15 each).
-func BenchmarkFig1(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		fig, err := experiments.Figure1(benchSeeds)
-		if err != nil {
-			b.Fatal(err)
-		}
-		b.ReportMetric(fig.Y["total"][0], "A_GFLOPS")
-		b.ReportMetric(fig.Y["total"][1], "B_GFLOPS")
-		b.ReportMetric(fig.Y["CPU"][0], "A_CPU_GFLOPS")
-		b.ReportMetric(fig.Y["GPU"][1], "B_GPU_GFLOPS")
-	}
-}
-
-// BenchmarkFig2 regenerates Figure 2 (round-robin simulation busy-time
-// prediction). Reported metric: trace steps.
-func BenchmarkFig2(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		fig := experiments.Figure2()
-		b.ReportMetric(float64(len(fig.X)), "trace_steps")
-	}
-}
-
-// BenchmarkFig3 regenerates Figure 3 (EDF scheduling reduces wasted
-// processing). Reported metrics: wasted fraction at zero slack and at
-// the largest slack for JS-WRR vs JS-LOCAL.
-func BenchmarkFig3(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		fig, err := experiments.Figure3(benchSeeds)
-		if err != nil {
-			b.Fatal(err)
-		}
-		last := len(fig.X) - 1
-		b.ReportMetric(fig.Y["JS-WRR"][0], "wrr_wasted_slack0")
-		b.ReportMetric(fig.Y["JS-LOCAL"][0], "local_wasted_slack0")
-		b.ReportMetric(fig.Y["JS-WRR"][last], "wrr_wasted_slackmax")
-		b.ReportMetric(fig.Y["JS-LOCAL"][last], "local_wasted_slackmax")
-	}
-}
-
-// BenchmarkFig4 regenerates Figure 4 (global accounting reduces share
-// violation).
-func BenchmarkFig4(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		fig, err := experiments.Figure4(benchSeeds)
-		if err != nil {
-			b.Fatal(err)
-		}
-		b.ReportMetric(fig.Y["JS-LOCAL"][0], "local_violation")
-		b.ReportMetric(fig.Y["JS-GLOBAL"][0], "global_violation")
-	}
-}
-
-// BenchmarkFig5 regenerates Figure 5 (fetch hysteresis reduces RPCs per
-// job, increases monotony).
-func BenchmarkFig5(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		fig, err := experiments.Figure5(benchSeeds)
-		if err != nil {
-			b.Fatal(err)
-		}
-		b.ReportMetric(fig.Y["JF-ORIG"][0], "orig_rpcs_per_job")
-		b.ReportMetric(fig.Y["JF-HYSTERESIS"][0], "hyst_rpcs_per_job")
-		b.ReportMetric(fig.Y["JF-ORIG"][1], "orig_monotony")
-		b.ReportMetric(fig.Y["JF-HYSTERESIS"][1], "hyst_monotony")
-	}
-}
-
-// BenchmarkFig6 regenerates Figure 6 (longer REC half-life reduces
-// share violation with long low-slack jobs).
-func BenchmarkFig6(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		fig, err := experiments.Figure6(benchSeeds)
-		if err != nil {
-			b.Fatal(err)
-		}
-		ys := fig.Y["JS-REC"]
-		b.ReportMetric(ys[0], "violation_shortest_halflife")
-		b.ReportMetric(ys[len(ys)-1], "violation_longest_halflife")
-	}
-}
+func BenchmarkFig1(b *testing.B) { perf.BenchFig1(b) }
+func BenchmarkFig2(b *testing.B) { perf.BenchFig2(b) }
+func BenchmarkFig3(b *testing.B) { perf.BenchFig3(b) }
+func BenchmarkFig4(b *testing.B) { perf.BenchFig4(b) }
+func BenchmarkFig5(b *testing.B) { perf.BenchFig5(b) }
+func BenchmarkFig6(b *testing.B) { perf.BenchFig6(b) }
 
 // BenchmarkEmulationDay measures raw emulator speed: one emulated day
 // of a 4-CPU, two-project host per iteration.
-func BenchmarkEmulationDay(b *testing.B) {
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		s := &Scenario{
-			Name: "bench", DurationDays: 1, Seed: int64(i),
-			Host: HostJSON{NCPU: 4, CPUGFlops: 1, MinQueueHours: 1, MaxQueueHours: 4},
-			Projects: []ProjectJSON{
-				{Name: "a", Share: 100, Apps: []AppJSON{{Name: "x", NCPUs: 1, MeanSecs: 1200, LatencySecs: 86400}}},
-				{Name: "b", Share: 100, Apps: []AppJSON{{Name: "y", NCPUs: 1, MeanSecs: 2400, LatencySecs: 86400}}},
-			},
-		}
-		res, err := Run(s)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if i == 0 {
-			b.ReportMetric(float64(res.Events), "events/day")
-		}
-	}
-}
+func BenchmarkEmulationDay(b *testing.B) { perf.BenchEmulationDay(b) }
 
 // BenchmarkRRSimJobHeavyFleet measures the emulator on a job-heavy
 // queue: a deep work buffer of short jobs keeps 1000+ tasks queued, so
 // every scheduling point pays the round-robin simulation over the full
 // queue. This is the end-to-end view of internal/rrsim's
 // BenchmarkRRSim/jobheavy (which isolates one simulation pass).
-func BenchmarkRRSimJobHeavyFleet(b *testing.B) {
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		s := &Scenario{
-			Name: "jobheavy", DurationDays: 0.25, Seed: 1,
-			Host: HostJSON{NCPU: 4, CPUGFlops: 1, MinQueueHours: 36, MaxQueueHours: 48},
-			Projects: []ProjectJSON{
-				{Name: "a", Share: 100, Apps: []AppJSON{{Name: "x", NCPUs: 1, MeanSecs: 600, LatencySecs: 4 * 86400}}},
-				{Name: "b", Share: 100, Apps: []AppJSON{{Name: "y", NCPUs: 1, MeanSecs: 600, LatencySecs: 4 * 86400}}},
-			},
-		}
-		res, err := Run(s)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if i == 0 {
-			b.ReportMetric(float64(res.Events), "events")
-			b.ReportMetric(float64(res.Metrics.CompletedJobs), "jobs")
-		}
-	}
-}
+func BenchmarkRRSimJobHeavyFleet(b *testing.B) { perf.BenchJobHeavyFleet(b) }
 
 // BenchmarkRunBatch measures the parallel execution engine on a fixed
 // 16-run workload (one emulated day each) across worker counts. On a
 // multi-core machine the runs/sec metric should scale until the worker
-// count exceeds the cores.
+// count exceeds the cores. (The ledger tracks only the 4-worker point,
+// as runbatch16_w4.)
 func BenchmarkRunBatch(b *testing.B) {
 	for _, workers := range []int{1, 2, 4, 8} {
 		workers := workers
 		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				scns := make([]*Scenario, 16)
+				b.StopTimer()
+				scns := make([]*bce.Scenario, 16)
 				for j := range scns {
-					scns[j] = &Scenario{
+					scns[j] = &bce.Scenario{
 						Name: fmt.Sprintf("batch-%d", j), DurationDays: 1,
-						Seed: DeriveSeed(int64(i), j),
-						Host: HostJSON{NCPU: 2, CPUGFlops: 1, MinQueueHours: 1, MaxQueueHours: 4},
-						Projects: []ProjectJSON{
-							{Name: "a", Share: 100, Apps: []AppJSON{{Name: "x", NCPUs: 1, MeanSecs: 1200, LatencySecs: 86400}}},
-							{Name: "b", Share: 100, Apps: []AppJSON{{Name: "y", NCPUs: 1, MeanSecs: 2400, LatencySecs: 86400}}},
+						Seed: bce.DeriveSeed(int64(i), j),
+						Host: bce.HostJSON{NCPU: 2, CPUGFlops: 1, MinQueueHours: 1, MaxQueueHours: 4},
+						Projects: []bce.ProjectJSON{
+							{Name: "a", Share: 100, Apps: []bce.AppJSON{{Name: "x", NCPUs: 1, MeanSecs: 1200, LatencySecs: 86400}}},
+							{Name: "b", Share: 100, Apps: []bce.AppJSON{{Name: "y", NCPUs: 1, MeanSecs: 2400, LatencySecs: 86400}}},
 						},
 					}
 				}
-				results, err := RunBatch(context.Background(), scns, WithWorkers(workers))
+				b.StartTimer()
+				results, err := bce.RunBatch(context.Background(), scns, bce.WithWorkers(workers))
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -203,10 +101,11 @@ func BenchmarkScenario4Policies(b *testing.B) {
 	for _, kind := range []fetch.PolicyKind{fetch.JFOrig, fetch.JFHysteresis} {
 		kind := kind
 		b.Run(kind.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				cfg := experiments.Scenario4(kind, int64(i))
 				cfg.Duration = 86400 // one day per iteration
-				if _, err := RunConfig(cfg); err != nil {
+				if _, err := bce.RunConfig(cfg); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -220,10 +119,11 @@ func BenchmarkSchedPolicies(b *testing.B) {
 	for _, p := range []sched.Policy{sched.JSWRR, sched.JSLocal, sched.JSGlobal} {
 		p := p
 		b.Run(p.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				cfg := experiments.Scenario1(1500, p, int64(i))
 				cfg.Duration = 86400
-				if _, err := RunConfig(cfg); err != nil {
+				if _, err := bce.RunConfig(cfg); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -239,26 +139,27 @@ func BenchmarkTransferPolicies(b *testing.B) {
 	for _, policy := range []string{"fifo", "smallest-first", "edf"} {
 		policy := policy
 		b.Run(policy, func(b *testing.B) {
+			b.ReportAllocs()
 			missed := 0
 			for i := 0; i < b.N; i++ {
-				s := &Scenario{
+				s := &bce.Scenario{
 					Name: "xfer-bench", DurationDays: 1, Seed: int64(i),
-					Host: HostJSON{
+					Host: bce.HostJSON{
 						NCPU: 2, CPUGFlops: 2,
 						MinQueueHours: 1, MaxQueueHours: 4,
 						DownMbps: 8, UpMbps: 8,
 					},
-					Projects: []ProjectJSON{
-						{Name: "mix", Share: 100, Apps: []AppJSON{
+					Projects: []bce.ProjectJSON{
+						{Name: "mix", Share: 100, Apps: []bce.AppJSON{
 							{Name: "urgent", NCPUs: 1, MeanSecs: 600, LatencySecs: 1800,
 								InputMB: 300, OutputMB: 5},
 							{Name: "bulk", NCPUs: 1, MeanSecs: 1200, LatencySecs: 86400,
 								InputMB: 100, OutputMB: 5},
 						}},
 					},
-					Policies: Policies{Transfers: policy},
+					Policies: bce.Policies{Transfers: policy},
 				}
-				res, err := Run(s)
+				res, err := bce.Run(s)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -279,12 +180,13 @@ func BenchmarkAblationDeadlineMargin(b *testing.B) {
 			name = fmt.Sprintf("margin%d", int(margin))
 		}
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			wasted := 0.0
 			for i := 0; i < b.N; i++ {
 				cfg := experiments.Scenario1(1200, sched.JSLocal, int64(i))
 				cfg.Duration = 2 * 86400
 				cfg.DeadlineMargin = margin
-				res, err := RunConfig(cfg)
+				res, err := bce.RunConfig(cfg)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -305,21 +207,22 @@ func BenchmarkAblationCheckpointPeriod(b *testing.B) {
 			name = fmt.Sprintf("%ds", int(cp))
 		}
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			lost := 0.0
 			for i := 0; i < b.N; i++ {
-				s := &Scenario{
+				s := &bce.Scenario{
 					Name: "cp-bench", DurationDays: 1, Seed: int64(i),
-					Host: HostJSON{NCPU: 1, CPUGFlops: 1, MinQueueHours: 1, MaxQueueHours: 3},
-					Projects: []ProjectJSON{
-						{Name: "a", Share: 100, Apps: []AppJSON{{
+					Host: bce.HostJSON{NCPU: 1, CPUGFlops: 1, MinQueueHours: 1, MaxQueueHours: 3},
+					Projects: []bce.ProjectJSON{
+						{Name: "a", Share: 100, Apps: []bce.AppJSON{{
 							Name: "x", NCPUs: 1, MeanSecs: 4000, LatencySecs: 864000, CheckpointS: cp,
 						}}},
-						{Name: "b", Share: 100, Apps: []AppJSON{{
+						{Name: "b", Share: 100, Apps: []bce.AppJSON{{
 							Name: "y", NCPUs: 1, MeanSecs: 4000, LatencySecs: 864000, CheckpointS: cp,
 						}}},
 					},
 				}
-				res, err := Run(s)
+				res, err := bce.Run(s)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -337,6 +240,7 @@ func BenchmarkEmServer(b *testing.B) {
 	for _, repl := range []int{1, 2, 3} {
 		repl := repl
 		b.Run(fmt.Sprintf("replication%d", repl), func(b *testing.B) {
+			b.ReportAllocs()
 			var thr, waste float64
 			for i := 0; i < b.N; i++ {
 				st := emserver.Run(emserver.Params{
@@ -357,10 +261,13 @@ func BenchmarkEmServer(b *testing.B) {
 
 // BenchmarkFleetPlanning measures the multi-host share planner plus a
 // fleet evaluation, reporting the violation improvement over uniform
-// shares.
+// shares; fleet construction happens off the clock.
 func BenchmarkFleetPlanning(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
+		b.StopTimer()
 		f := benchFleet()
+		b.StartTimer()
 		uni, err := f.Evaluate(fleet.Uniform(f), 86400, int64(i))
 		if err != nil {
 			b.Fatal(err)

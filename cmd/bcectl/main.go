@@ -6,6 +6,7 @@
 //	bcectl compare scenario.json           all policy combinations on one scenario
 //	bcectl sweep   scenario.json           sweep a scenario parameter
 //	bcectl study -n 1000                   streaming Monte-Carlo population study
+//	bcectl bench run|compare|gate          performance ledger (internal/perf)
 //
 // Figure output is a table plus an ASCII chart; -csv writes the series
 // as CSV to a file.
@@ -78,10 +79,11 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	opts := []runner.Option{runner.WithWorkers(*workers)}
+	batchOpts := runner.Options{Workers: *workers}
 	if *progress {
-		opts = append(opts, runner.WithProgress(printProgress))
+		batchOpts.Progress = printProgress
 	}
+	opts := []runner.Option{runner.WithOptions(batchOpts)}
 
 	var err error
 	switch cmd {
@@ -108,6 +110,8 @@ func main() {
 		err = runSweep(ctx, flag.Args()[1:], sl, *csv, *chart, rep, opts)
 	case "study":
 		err = runStudy(ctx, flag.Args()[1:], *progress, rep, opts)
+	case "bench":
+		err = runBench(flag.Args()[1:])
 	default:
 		usage()
 		stopProfile()
@@ -160,6 +164,10 @@ func usage() {
   bcectl [flags] study [study flags]
                                    streaming population study with
                                    checkpoint/resume (study -h for flags)
+  bcectl bench [bench flags] run|compare|gate
+                                   run the perf suite into a BENCH_*.json
+                                   ledger, diff ledgers, or gate against
+                                   the baseline (bench -h for flags)
 
 flags:
 `)

@@ -52,10 +52,11 @@ const maxDebtSeconds = 86400
 
 // LocalDebt is the per-processor-type debt scheme.
 type LocalDebt struct {
-	shares []float64
-	hw     *host.Hardware
-	debt   [][host.NumProcTypes]float64 // [project][type]
-	lastT  float64
+	shares   []float64
+	hw       *host.Hardware
+	debt     [][host.NumProcTypes]float64 // [project][type]
+	lastT    float64
+	eligible []bool // Update scratch; cleared per processor type
 }
 
 // NewLocalDebt creates local accounting for the given project shares on
@@ -93,8 +94,12 @@ func (l *LocalDebt) Update(now float64, hasWork func(p int, t host.ProcType) boo
 		if ninst == 0 {
 			continue
 		}
+		if cap(l.eligible) < len(l.shares) {
+			l.eligible = make([]bool, len(l.shares))
+		}
+		eligible := l.eligible[:len(l.shares)]
+		clear(eligible)
 		var shareSum float64
-		eligible := make([]bool, len(l.shares))
 		n := 0
 		for p, s := range l.shares {
 			if s > 0 && hasWork(p, t) {

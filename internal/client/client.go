@@ -154,14 +154,26 @@ type Client struct {
 	tl      *timeline.Recorder
 	rng     *stats.RNG
 
-	tasks   []*job.Task
-	running map[*job.Task]bool
+	// tasks is the queue. The running set is not tracked separately:
+	// t.State == job.Running is authoritative (Start/Preempt/Advance
+	// keep it exact), which spares the hot path a map.
+	tasks []*job.Task
+
+	// Per-tick scratch and persistent closures: a tick is the hot path,
+	// so everything it needs lives on the Client instead of being
+	// allocated per pass.
+	enforcer         sched.Enforcer
+	tickFn           func()
+	prioFn           func(p int, t host.ProcType) float64 // c.acct.PrioSched, bound once
+	runScratch       []*job.Task
+	completedScratch []*job.Task
 
 	lastAdvance float64
 
 	computeOn bool
 	gpuOn     bool
 	netOn     bool
+	logOn     bool    // cfg.Log != nil; hot paths check it before logf so discarded logs cost no argument boxing
 	availMark float64 // start of current available span
 
 	tickTimer *sim.Timer
@@ -171,6 +183,7 @@ type Client struct {
 	backoffCount  []int
 	pendingReport [][]*job.Task
 	reportDue     []*sim.Timer
+	views         []fetch.ProjectView // static fields filled in New; floats updated per decision
 
 	xfer *transfer.Manager
 
@@ -180,38 +193,25 @@ type Client struct {
 	// scratch job slices it reads, and a fingerprint cache that skips
 	// the simulation entirely when the workload is provably unchanged.
 	rr          *rrsim.Simulator
+	rrRes       rrsim.Result // reused output buffer; rrCache.res aliases it
 	rrJobs      []rrsim.Job
 	rrJobPtrs   []*rrsim.Job
-	rrKeys      []rrKey
 	rrCache     rrCache
 	rrCacheOff  bool   // tests: force a fresh simulation every tick
 	rrCacheHits uint64 // tests/observability
 }
 
-// rrKey is the simulation-relevant fingerprint of one queued task: the
-// exact fields NewJob would capture, plus the task's identity. Two
-// scheduling points with equal key sequences would feed rrsim the same
-// workload (every other Input field — hardware, shares, availability,
-// horizons, margin — is fixed for the life of the Client).
-type rrKey struct {
-	task      *job.Task
-	remaining float64
-	deadline  float64
-	instances float64
-	typ       host.ProcType
-	project   int
-}
-
-// rrCache holds the last simulation's inputs and outputs. A hit needs
-// (a) an identical key sequence and (b) now <= validUntil: endangered
-// classification depends on absolute time, so the cached result is only
-// reused while no job's slack can have run out — see rrsimValidUntil.
+// rrCache holds the last simulation's validity window. The input
+// fingerprint needs no separate storage: the job array itself is the
+// key (RunInto writes only the output fields), so a hit needs (a) every
+// rebuilt input field equal to the previous run's and (b) now <=
+// validUntil: endangered classification depends on absolute time, so
+// the cached result is only reused while no job's slack can have run
+// out — see rrsimValidUntil.
 type rrCache struct {
 	valid      bool
 	validUntil float64
-	keys       []rrKey
 	res        *rrsim.Result
-	endangered map[*job.Task]bool
 }
 
 // New builds a client for the config.
@@ -225,14 +225,13 @@ func New(cfg Config) (*Client, error) {
 		sim:       sim.New(),
 		hw:        &cfg.Host.Hardware,
 		prefs:     cfg.Host.Prefs.Defaults(),
-		running:   make(map[*job.Task]bool),
 		rng:       stats.NewRNG(cfg.Seed),
 		computeOn: true,
 		gpuOn:     true,
 		netOn:     true,
+		logOn:     cfg.Log != nil,
 		rr:        rrsim.New(),
 	}
-	c.rrCache.endangered = make(map[*job.Task]bool)
 	c.shares = make([]float64, len(cfg.Projects))
 	for i, p := range cfg.Projects {
 		c.shares[i] = p.Share
@@ -248,6 +247,7 @@ func New(cfg Config) (*Client, error) {
 	default:
 		c.acct = account.NewLocalDebt(c.shares, c.hw)
 	}
+	c.prioFn = c.acct.PrioSched
 	c.rec = metrics.New(c.hw, c.shares, 0)
 	if cfg.MonotonyWindow > 0 {
 		c.rec.SetWindow(cfg.MonotonyWindow)
@@ -260,6 +260,16 @@ func New(cfg Config) (*Client, error) {
 	c.backoffCount = make([]int, len(cfg.Projects))
 	c.pendingReport = make([][]*job.Task, len(cfg.Projects))
 	c.reportDue = make([]*sim.Timer, len(cfg.Projects))
+	c.views = make([]fetch.ProjectView, len(c.servers))
+	for i, s := range c.servers {
+		c.views[i] = fetch.ProjectView{Share: s.Spec.Share, Supplies: s}
+	}
+	c.tickFn = func() {
+		t := c.tickTimer
+		c.tickTimer = nil // this tick has fired; it no longer blocks rescheduling
+		c.sim.Recycle(t)
+		c.tick()
+	}
 
 	// The client's long-run availability estimate, used by the
 	// round-robin simulation and sent to servers for deadline checks.
@@ -368,7 +378,7 @@ func (c *Client) startChannel(ch host.Channel, src host.PeriodSource) {
 		if d <= 0 && on {
 			return // available forever
 		}
-		c.sim.After(d, next)
+		c.sim.Post(d, next)
 	}
 	// First period: the client starts in the "on" state; a trace may
 	// begin with an off period, which takes effect immediately.
@@ -379,7 +389,7 @@ func (c *Client) startChannel(ch host.Channel, src host.PeriodSource) {
 	if !on {
 		c.setChannel(ch, false)
 	}
-	c.sim.After(d, next)
+	c.sim.Post(d, next)
 }
 
 func (c *Client) setChannel(ch host.Channel, on bool) {
@@ -438,14 +448,18 @@ func (c *Client) preemptAll() {
 // runningInOrder returns the running tasks in queue (arrival) order.
 // Iterating the running set through the tasks slice keeps emulations
 // deterministic: map iteration order would reorder floating-point
-// accumulation and event scheduling between runs.
+// accumulation and event scheduling between runs. The returned slice
+// is scratch, valid until the next call; callers never hold it across
+// a nested runningInOrder (advance, the stop pass and preemptAll are
+// strictly sequential).
 func (c *Client) runningInOrder() []*job.Task {
-	out := make([]*job.Task, 0, len(c.running))
+	out := c.runScratch[:0]
 	for _, t := range c.tasks {
-		if c.running[t] {
+		if t.State == job.Running {
 			out = append(out, t)
 		}
 	}
+	c.runScratch = out
 	return out
 }
 
@@ -454,14 +468,17 @@ func (c *Client) stopTask(t *job.Task) {
 	lost := t.Preempt(!c.prefs.LeaveInMemory)
 	if lost > 0 {
 		c.rec.OnLostWork(t, lost)
-		c.logf("preempt %s (lost %.0f s since checkpoint)", t.Name, lost)
-	} else {
-		c.logf("preempt %s", t.Name)
+	}
+	if c.logOn {
+		if lost > 0 {
+			c.logf("preempt %s (lost %.0f s since checkpoint)", t.Name, lost)
+		} else {
+			c.logf("preempt %s", t.Name)
+		}
 	}
 	if c.tl != nil {
 		c.tl.Stop(c.sim.Now(), t.Name)
 	}
-	delete(c.running, t)
 }
 
 // advance credits execution to running tasks for the span since the
@@ -473,7 +490,7 @@ func (c *Client) advance() {
 		c.lastAdvance = now
 		return
 	}
-	var completed []*job.Task
+	completed := c.completedScratch[:0]
 	for _, t := range c.runningInOrder() {
 		// A task stops consuming the processor the moment it finishes;
 		// clip the credited span so late advances (e.g. the final
@@ -496,21 +513,23 @@ func (c *Client) advance() {
 		}
 	}
 	c.lastAdvance = now
+	c.completedScratch = completed
 	for _, t := range completed {
 		c.completeTask(t)
 	}
 }
 
 func (c *Client) completeTask(t *job.Task) {
-	delete(c.running, t)
 	if c.tl != nil {
 		c.tl.Stop(c.sim.Now(), t.Name)
 	}
 	c.rec.OnComplete(t)
-	if t.MissedDeadline {
-		c.logf("completed %s AFTER deadline (%.0f > %.0f)", t.Name, t.CompletedAt, t.Deadline)
-	} else {
-		c.logf("completed %s (deadline %.0f)", t.Name, t.Deadline)
+	if c.logOn {
+		if t.MissedDeadline {
+			c.logf("completed %s AFTER deadline (%.0f > %.0f)", t.Name, t.CompletedAt, t.Deadline)
+		} else {
+			c.logf("completed %s (deadline %.0f)", t.Name, t.Deadline)
+		}
 	}
 	// Remove from the queue.
 	for i, q := range c.tasks {
@@ -521,7 +540,9 @@ func (c *Client) completeTask(t *job.Task) {
 	}
 	// Output files must be uploaded before the result can be reported.
 	if t.OutputBytes > 0 && c.hw.UploadBps > 0 {
-		c.logf("upload %s (%.0f bytes)", t.Name, t.OutputBytes)
+		if c.logOn {
+			c.logf("upload %s (%.0f bytes)", t.Name, t.OutputBytes)
+		}
 		c.xfer.Enqueue(transfer.Up, &transfer.Transfer{
 			Name:     t.Name,
 			Bytes:    t.OutputBytes,
@@ -550,19 +571,21 @@ func (c *Client) readyToReport(t *job.Task) {
 }
 
 // scheduleTick coalesces scheduling passes: it ensures a tick fires no
-// later than delay seconds from now.
+// later than delay seconds from now. A non-nil tickTimer is always
+// pending (the fired callback nils it before anything else), so a
+// later-scheduled pass moves the timer in place — no cancel/allocate
+// churn — and takes a fresh sequence number, exactly as a cancel +
+// reschedule would have ordered it.
 func (c *Client) scheduleTick(delay float64) {
 	at := c.sim.Now() + delay
-	if c.tickTimer != nil && !c.tickTimer.Canceled() && c.tickTimer.At() <= at {
-		return // an earlier tick is already pending
-	}
 	if c.tickTimer != nil {
-		c.sim.Cancel(c.tickTimer)
+		if c.tickTimer.At() <= at {
+			return // an earlier tick is already pending
+		}
+		c.sim.Move(c.tickTimer, at)
+		return
 	}
-	c.tickTimer = c.sim.At(at, func() {
-		c.tickTimer = nil // this tick has fired; it no longer blocks rescheduling
-		c.tick()
-	})
+	c.tickTimer = c.sim.At(at, c.tickFn)
 }
 
 // accruesShare is the eligibility predicate for debt accrual: a project
@@ -583,52 +606,64 @@ const rrsimSlackEpsilon = 1e-3
 // runRRSim runs the round-robin simulation over the current queue, or
 // reuses the previous result when the workload fingerprint is unchanged
 // and every job's deadline slack provably still holds (empty-queue and
-// all-waiting stretches hit this path on every tick).
-func (c *Client) runRRSim() (*rrsim.Result, map[*job.Task]bool) {
+// all-waiting stretches hit this path on every tick). Endangered
+// verdicts are not returned: they latch onto each task's
+// DeadlineFlagged bit, which the scheduler reads directly.
+func (c *Client) runRRSim() *rrsim.Result {
 	now := c.sim.Now()
+	cc := &c.rrCache
 
-	// Fingerprint the queue: exactly what rrsim.NewJob would capture.
-	keys := c.rrKeys[:0]
+	// Fingerprint and build in one pass: the previous run's job array
+	// is itself the cache key, since RunInto writes only the output
+	// fields. Each unfinished task is compared against, then written
+	// over, the entry it would occupy; if every input field matched
+	// (and the validity window holds) nothing changed and the cached
+	// result stands.
+	if cap(c.rrJobs) < len(c.tasks) {
+		grown := make([]rrsim.Job, len(c.tasks))
+		copy(grown, c.rrJobs)
+		c.rrJobs = grown[:len(c.rrJobs)]
+	}
+	prev := len(c.rrJobs)
+	match := cc.valid && now <= cc.validUntil && !c.rrCacheOff
+	jobs := c.rrJobs[:cap(c.rrJobs)]
+	n := 0
 	for _, t := range c.tasks {
-		if !t.Finished() {
-			keys = append(keys, rrKey{
-				task:      t,
-				remaining: t.EstRemaining(),
-				deadline:  t.Deadline,
-				instances: t.Usage.Instances(),
-				typ:       t.Usage.Type(),
-				project:   t.Project,
-			})
+		if t.Finished() {
+			continue
 		}
+		j := &jobs[n]
+		remaining := t.EstRemaining()
+		instances := t.Usage.Instances()
+		typ := t.Usage.Type()
+		if match && (n >= prev || j.Task != t || j.Remaining != remaining ||
+			j.Deadline != t.Deadline || j.Instances != instances ||
+			j.Type != typ || j.Project != t.Project) {
+			match = false
+		}
+		j.Task, j.Project, j.Type = t, t.Project, typ
+		j.Instances, j.Remaining, j.Deadline = instances, remaining, t.Deadline
+		n++
 	}
-	c.rrKeys = keys
+	c.rrJobs = jobs[:n]
 
-	if !c.rrCacheOff && c.rrCacheUsable(keys, now) {
+	if match && n == prev {
 		c.rrCacheHits++
-		return c.rrCache.res, c.rrCache.endangered
+		return cc.res
 	}
 
-	// Build the job slice in reused scratch storage; rrsim keeps no
-	// references past Run, so the backing arrays live across ticks.
-	if cap(c.rrJobs) < len(keys) {
-		c.rrJobs = make([]rrsim.Job, len(keys))
-		c.rrJobPtrs = make([]*rrsim.Job, len(keys))
+	// rrsim keeps no references past the run, so the pointer slice and
+	// job array live across ticks as scratch.
+	if cap(c.rrJobPtrs) < n {
+		c.rrJobPtrs = make([]*rrsim.Job, n)
 	}
-	c.rrJobs = c.rrJobs[:len(keys)]
-	c.rrJobPtrs = c.rrJobPtrs[:len(keys)]
-	for i, k := range keys {
-		c.rrJobs[i] = rrsim.Job{
-			Task:      k.task,
-			Project:   k.project,
-			Type:      k.typ,
-			Instances: k.instances,
-			Remaining: k.remaining,
-			Deadline:  k.deadline,
-		}
+	c.rrJobPtrs = c.rrJobPtrs[:n]
+	for i := range c.rrJobPtrs {
 		c.rrJobPtrs[i] = &c.rrJobs[i]
 	}
 
-	res := c.rr.Run(rrsim.Input{
+	res := &c.rrRes
+	c.rr.RunInto(res, rrsim.Input{
 		Now:            now,
 		Hardware:       c.hw,
 		Shares:         c.shares,
@@ -639,39 +674,16 @@ func (c *Client) runRRSim() (*rrsim.Result, map[*job.Task]bool) {
 		Jobs:           c.rrJobPtrs,
 	})
 
-	endangered := c.rrCache.endangered
-	clear(endangered)
 	for _, j := range c.rrJobPtrs {
 		if j.Endangered {
 			j.Task.DeadlineFlagged = true // latch; see job.Task.DeadlineFlagged
 		}
-		if j.Task.DeadlineFlagged {
-			endangered[j.Task] = true
-		}
 	}
 
-	// Swap the key buffer into the cache (keeping the old one as next
-	// tick's scratch) and compute how long the verdicts stay valid.
-	c.rrCache.keys, c.rrKeys = keys, c.rrCache.keys
-	c.rrCache.res = res
-	c.rrCache.valid = true
-	c.rrCache.validUntil = c.rrsimValidUntil(now)
-	return res, endangered
-}
-
-// rrCacheUsable reports whether the cached simulation answers for the
-// workload fingerprinted by keys at time now.
-func (c *Client) rrCacheUsable(keys []rrKey, now float64) bool {
-	cc := &c.rrCache
-	if !cc.valid || now > cc.validUntil || len(keys) != len(cc.keys) {
-		return false
-	}
-	for i := range keys {
-		if keys[i] != cc.keys[i] {
-			return false
-		}
-	}
-	return true
+	cc.res = res
+	cc.valid = true
+	cc.validUntil = c.rrsimValidUntil(now)
+	return res
 }
 
 // rrsimValidUntil bounds how long the just-computed simulation stays
@@ -699,6 +711,11 @@ func (c *Client) rrsimValidUntil(now float64) float64 {
 	return until
 }
 
+// taskEndangered is the scheduler's deadline-verdict predicate: the
+// round-robin simulation latches its endangered classification onto
+// the task itself, so no per-tick verdict set has to be built.
+func taskEndangered(t *job.Task) bool { return t.DeadlineFlagged }
+
 // tick is one scheduling pass: advance time, re-run the round-robin
 // simulation, enforce the job schedule, consider work fetch, and
 // schedule the next pass.
@@ -709,38 +726,39 @@ func (c *Client) tick() {
 	}
 	now := c.sim.Now()
 	c.acct.Update(now, c.accruesShare)
-	rr, endangered := c.runRRSim()
+	rr := c.runRRSim()
 
-	dec := sched.Enforce(sched.Input{
+	dec := c.enforcer.Enforce(sched.Input{
 		Policy:      c.cfg.JobSched,
 		Now:         now,
 		Hardware:    c.hw,
 		Tasks:       c.tasks,
-		Endangered:  func(t *job.Task) bool { return endangered[t] },
-		Prio:        c.acct.PrioSched,
+		Endangered:  taskEndangered,
+		Prio:        c.prioFn,
 		MaxMemBytes: c.prefs.MaxMemFrac * c.hw.MemBytes,
 		GPUAllowed:  c.gpuOn,
 	})
-	newSet := dec.RunSet()
 	for _, t := range c.runningInOrder() {
-		if !newSet[t] {
+		if !dec.Contains(t) {
 			c.stopTask(t)
 		}
 	}
 	for _, t := range dec.Run {
-		if !c.running[t] {
+		if t.State != job.Running {
 			t.Start(now)
-			c.running[t] = true
-			c.logf("start %s (project %d, %s)", t.Name, t.Project, t.Usage.Type())
+			if c.logOn {
+				c.logf("start %s (project %d, %s)", t.Name, t.Project, t.Usage.Type())
+			}
 			if c.tl != nil {
 				c.tl.Start(now, t.Name, t.Project, t.Usage.Type(), t.Usage.Instances())
 			}
 		}
 	}
 
-	// Next completion wakes us exactly on time.
+	// Next completion wakes us exactly on time. After the stop and
+	// start passes the running set is exactly dec.Run.
 	next := c.prefs.CPUSchedPeriod
-	for t := range c.running { //bce:unordered min over a set: order-independent
+	for _, t := range dec.Run {
 		if r := t.Remaining(); r < next {
 			next = r
 		}
@@ -760,15 +778,11 @@ func (c *Client) maybeFetch(rr *rrsim.Result) {
 		return
 	}
 	now := c.sim.Now()
-	views := make([]fetch.ProjectView, len(c.servers))
-	for i, s := range c.servers {
-		i, s := i, s
-		views[i] = fetch.ProjectView{
-			Share:        s.Spec.Share,
-			PrioFetch:    c.acct.PrioFetch(i),
-			Fetchable:    func(t host.ProcType) bool { return s.SuppliesType(t) && now >= c.backoffUntil[i] },
-			SuppliesType: s.SuppliesType,
-		}
+	// The views' static fields (share, supplier) were set in New; only
+	// the per-decision floats change, so no per-call allocation.
+	for i := range c.views {
+		c.views[i].PrioFetch = c.acct.PrioFetch(i)
+		c.views[i].BackoffUntil = c.backoffUntil[i]
 	}
 	plan := fetch.Decide(c.cfg.JobFetch, fetch.Input{
 		Now:      now,
@@ -776,7 +790,7 @@ func (c *Client) maybeFetch(rr *rrsim.Result) {
 		RR:       rr,
 		MinQueue: c.prefs.MinQueue,
 		MaxQueue: c.prefs.MaxQueue,
-		Projects: views,
+		Projects: c.views,
 	})
 	if plan.None() {
 		return
@@ -790,11 +804,13 @@ func (c *Client) issueRPC(p int, reqs []project.Request) {
 	c.rpcInFlight = true
 	c.rec.OnRPC()
 	reporting := len(c.pendingReport[p])
-	c.logf("RPC to project %d: report %d, request %s", p, reporting, fmtReqs(reqs))
+	if c.logOn {
+		c.logf("RPC to project %d: report %d, request %s", p, reporting, fmtReqs(reqs))
+	}
 	// The server stamps deadlines at dispatch time; the reply reaches
 	// the client one RPC delay later, so that delay consumes slack.
 	sentAt := c.sim.Now()
-	c.sim.After(c.cfg.RPCDelay, func() {
+	c.sim.Post(c.cfg.RPCDelay, func() {
 		c.rpcInFlight = false
 		now := c.sim.Now()
 		srv := c.servers[p]
@@ -825,7 +841,9 @@ func (c *Client) issueRPC(p int, reqs []project.Request) {
 			t := t
 			t.ReceivedAt = now
 			c.tasks = append(c.tasks, t)
-			c.logf("got %s (est %.0f s, deadline %.0f)", t.Name, t.EstDuration, t.Deadline)
+			if c.logOn {
+				c.logf("got %s (est %.0f s, deadline %.0f)", t.Name, t.EstDuration, t.Deadline)
+			}
 			// Input files must arrive before the task can run.
 			if t.InputBytes > 0 && c.hw.DownloadBps > 0 {
 				t.State = job.Downloading
@@ -835,7 +853,9 @@ func (c *Client) issueRPC(p int, reqs []project.Request) {
 					Deadline: t.Deadline,
 					Done: func() {
 						t.State = job.Queued
-						c.logf("download of %s complete", t.Name)
+						if c.logOn {
+							c.logf("download of %s complete", t.Name)
+						}
 						c.scheduleTick(0)
 					},
 				})
@@ -856,7 +876,9 @@ func (c *Client) backoff(p int, why string) {
 	// Jitter avoids lock-step retries.
 	d *= 0.5 + c.rng.Float64()
 	c.backoffUntil[p] = c.sim.Now() + d
-	c.logf("backoff project %d for %.0f s (%s)", p, d, why)
+	if c.logOn {
+		c.logf("backoff project %d for %.0f s (%s)", p, d, why)
+	}
 }
 
 func fmtReqs(reqs []project.Request) string {

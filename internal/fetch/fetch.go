@@ -52,16 +52,34 @@ func (p PolicyKind) String() string {
 	return fmt.Sprintf("PolicyKind(%d)", int(p))
 }
 
+// Supplier reports the static supplies-type property of a project:
+// whether it has applications using a processor type. *project.Server
+// implements it directly.
+type Supplier interface {
+	SuppliesType(t host.ProcType) bool
+}
+
 // ProjectView is what the fetch policy may know about one project when
-// deciding whom to ask for work.
+// deciding whom to ask for work. It is a plain value — the dynamic
+// per-decision state is two floats — so callers can keep a view slice
+// alive across decisions and update it in place instead of building
+// per-call closures on the emulator's hot path.
 type ProjectView struct {
 	Share     float64
 	PrioFetch float64
-	// Fetchable reports whether the project can be asked for type-t
-	// jobs right now (supplies the type, reachable, not backed off).
-	Fetchable func(t host.ProcType) bool
-	// SuppliesType reports the static property used for share-splitting.
-	SuppliesType func(t host.ProcType) bool
+	// BackoffUntil is the absolute time before which the project may
+	// not be asked for work (RPC backoff / retry spacing); zero means
+	// askable now.
+	BackoffUntil float64
+	// Supplies gates both fetch eligibility and share-splitting; a nil
+	// Supplies makes the project unfetchable.
+	Supplies Supplier
+}
+
+// fetchable reports whether the project can be asked for type-t jobs
+// at time now (supplies the type, not backed off).
+func (v ProjectView) fetchable(t host.ProcType, now float64) bool {
+	return v.Supplies != nil && now >= v.BackoffUntil && v.Supplies.SuppliesType(t)
 }
 
 // Input is one fetch decision's context.
@@ -102,7 +120,7 @@ func Decide(kind PolicyKind, in Input) Plan {
 func bestProject(in Input, t host.ProcType) int {
 	best := -1
 	for p, v := range in.Projects {
-		if v.Share <= 0 || v.Fetchable == nil || !v.Fetchable(t) {
+		if v.Share <= 0 || !v.fetchable(t, in.Now) {
 			continue
 		}
 		if best < 0 || v.PrioFetch > in.Projects[best].PrioFetch {
@@ -117,7 +135,7 @@ func bestProject(in Input, t host.ProcType) int {
 func shareFrac(in Input, p int, t host.ProcType) float64 {
 	var sum float64
 	for _, v := range in.Projects {
-		if v.Share > 0 && v.SuppliesType != nil && v.SuppliesType(t) {
+		if v.Share > 0 && v.Supplies != nil && v.Supplies.SuppliesType(t) {
 			sum += v.Share
 		}
 	}

@@ -18,14 +18,19 @@ func hwMixed(ncpu, ngpu int) *host.Hardware {
 	return &h.Hardware
 }
 
+// suppliesFunc adapts a predicate to the Supplier interface for tests.
+type suppliesFunc func(host.ProcType) bool
+
+func (f suppliesFunc) SuppliesType(t host.ProcType) bool { return f(t) }
+
 func cpuProject(share, prio float64) ProjectView {
-	supplies := func(t host.ProcType) bool { return t == host.CPU }
-	return ProjectView{Share: share, PrioFetch: prio, Fetchable: supplies, SuppliesType: supplies}
+	supplies := suppliesFunc(func(t host.ProcType) bool { return t == host.CPU })
+	return ProjectView{Share: share, PrioFetch: prio, Supplies: supplies}
 }
 
 func gpuProject(share, prio float64) ProjectView {
-	supplies := func(t host.ProcType) bool { return t == host.NvidiaGPU }
-	return ProjectView{Share: share, PrioFetch: prio, Fetchable: supplies, SuppliesType: supplies}
+	supplies := suppliesFunc(func(t host.ProcType) bool { return t == host.NvidiaGPU })
+	return ProjectView{Share: share, PrioFetch: prio, Supplies: supplies}
 }
 
 func rrWith(sfMin, sfMax, sat, idle float64) *rrsim.Result {
@@ -120,7 +125,7 @@ func TestBestProjectByPriority(t *testing.T) {
 
 func TestUnfetchableProjectSkipped(t *testing.T) {
 	busy := cpuProject(1, 100)
-	busy.Fetchable = func(host.ProcType) bool { return false } // backed off
+	busy.BackoffUntil = math.Inf(1) // backed off
 	in := Input{
 		Hardware: hwCPU(1), RR: rrWith(1000, 1000, 0, 1),
 		MinQueue: 100, MaxQueue: 100,
@@ -245,38 +250,38 @@ func TestSpreadName(t *testing.T) {
 }
 
 // TestShareFracEdgeCases drives shareFrac directly through its corner
-// cases: projects with zero share, a nil SuppliesType callback, and no
-// suppliers at all must never contribute to (or produce) a share.
+// cases: projects with zero share, a nil Supplies, and no suppliers at
+// all must never contribute to (or produce) a share.
 func TestShareFracEdgeCases(t *testing.T) {
-	cpu := func(t host.ProcType) bool { return t == host.CPU }
-	gpu := func(t host.ProcType) bool { return t == host.NvidiaGPU }
+	cpu := suppliesFunc(func(t host.ProcType) bool { return t == host.CPU })
+	gpu := suppliesFunc(func(t host.ProcType) bool { return t == host.NvidiaGPU })
 	cases := []struct {
 		name     string
 		projects []ProjectView
 		p        int
 		want     float64
 	}{
-		{"sole supplier", []ProjectView{{Share: 2, SuppliesType: cpu}}, 0, 1},
+		{"sole supplier", []ProjectView{{Share: 2, Supplies: cpu}}, 0, 1},
 		{"even split counts only suppliers", []ProjectView{
-			{Share: 1, SuppliesType: cpu},
-			{Share: 1, SuppliesType: cpu},
-			{Share: 2, SuppliesType: gpu}, // other type: out of the sum
+			{Share: 1, Supplies: cpu},
+			{Share: 1, Supplies: cpu},
+			{Share: 2, Supplies: gpu}, // other type: out of the sum
 		}, 0, 0.5},
 		{"zero-share supplier excluded from sum", []ProjectView{
-			{Share: 3, SuppliesType: cpu},
-			{Share: 0, SuppliesType: cpu},
+			{Share: 3, Supplies: cpu},
+			{Share: 0, Supplies: cpu},
 		}, 0, 1},
 		{"zero-share project gets zero", []ProjectView{
-			{Share: 3, SuppliesType: cpu},
-			{Share: 0, SuppliesType: cpu},
+			{Share: 3, Supplies: cpu},
+			{Share: 0, Supplies: cpu},
 		}, 1, 0},
-		{"nil SuppliesType treated as supplies nothing", []ProjectView{
-			{Share: 1, SuppliesType: cpu},
-			{Share: 9, SuppliesType: nil},
+		{"nil Supplies treated as supplies nothing", []ProjectView{
+			{Share: 1, Supplies: cpu},
+			{Share: 9, Supplies: nil},
 		}, 0, 1},
 		{"no suppliers at all", []ProjectView{
-			{Share: 1, SuppliesType: gpu},
-			{Share: 1, SuppliesType: nil},
+			{Share: 1, Supplies: gpu},
+			{Share: 1, Supplies: nil},
 		}, 0, 0},
 	}
 	for _, tc := range cases {
@@ -288,11 +293,11 @@ func TestShareFracEdgeCases(t *testing.T) {
 }
 
 // TestBestProjectEdgeCases drives bestProject directly: zero-share and
-// nil-Fetchable projects must be skipped even at top priority, and a
+// nil-Supplies projects must be skipped even at top priority, and a
 // fully backed-off roster yields no candidate.
 func TestBestProjectEdgeCases(t *testing.T) {
-	yes := func(host.ProcType) bool { return true }
-	no := func(host.ProcType) bool { return false }
+	yes := suppliesFunc(func(host.ProcType) bool { return true })
+	backedOff := math.Inf(1)
 	cases := []struct {
 		name     string
 		projects []ProjectView
@@ -300,25 +305,25 @@ func TestBestProjectEdgeCases(t *testing.T) {
 	}{
 		{"empty roster", nil, -1},
 		{"all backed off", []ProjectView{
-			{Share: 1, PrioFetch: 5, Fetchable: no},
-			{Share: 1, PrioFetch: 9, Fetchable: no},
+			{Share: 1, PrioFetch: 5, Supplies: yes, BackoffUntil: backedOff},
+			{Share: 1, PrioFetch: 9, Supplies: yes, BackoffUntil: backedOff},
 		}, -1},
-		{"nil Fetchable skipped", []ProjectView{
-			{Share: 1, PrioFetch: 9, Fetchable: nil},
-			{Share: 1, PrioFetch: 1, Fetchable: yes},
+		{"nil Supplies skipped", []ProjectView{
+			{Share: 1, PrioFetch: 9, Supplies: nil},
+			{Share: 1, PrioFetch: 1, Supplies: yes},
 		}, 1},
 		{"zero share skipped despite priority", []ProjectView{
-			{Share: 0, PrioFetch: 9, Fetchable: yes},
-			{Share: 1, PrioFetch: 1, Fetchable: yes},
+			{Share: 0, PrioFetch: 9, Supplies: yes},
+			{Share: 1, PrioFetch: 1, Supplies: yes},
 		}, 1},
 		{"negative share skipped", []ProjectView{
-			{Share: -1, PrioFetch: 9, Fetchable: yes},
-			{Share: 1, PrioFetch: 1, Fetchable: yes},
+			{Share: -1, PrioFetch: 9, Supplies: yes},
+			{Share: 1, PrioFetch: 1, Supplies: yes},
 		}, 1},
 		{"highest priority among eligible", []ProjectView{
-			{Share: 1, PrioFetch: 2, Fetchable: yes},
-			{Share: 1, PrioFetch: 7, Fetchable: no},
-			{Share: 1, PrioFetch: 5, Fetchable: yes},
+			{Share: 1, PrioFetch: 2, Supplies: yes},
+			{Share: 1, PrioFetch: 7, Supplies: yes, BackoffUntil: backedOff},
+			{Share: 1, PrioFetch: 5, Supplies: yes},
 		}, 2},
 	}
 	for _, tc := range cases {

@@ -1,0 +1,184 @@
+package perf
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Thresholds sets the noise tolerance for Compare, as fractional
+// slowdowns. A negative value disables that axis entirely — CI runs on
+// heterogeneous machines gate with Time disabled and Allocs enabled,
+// because allocation counts are a property of the code, not the
+// hardware.
+type Thresholds struct {
+	// Time flags a regression when ns/op grows by more than this
+	// fraction over the baseline.
+	Time float64
+	// Allocs flags a regression when allocs/op grows by more than this
+	// fraction (plus half an allocation, so exact-zero baselines don't
+	// trip on rounding).
+	Allocs float64
+}
+
+// DefaultThresholds tolerates 20% wall-time jitter and 10% allocation
+// growth (cross-toolchain drift; same-toolchain counts are exact for a
+// deterministic emulator).
+var DefaultThresholds = Thresholds{Time: 0.20, Allocs: 0.10}
+
+// Status classifies one benchmark's baseline-to-current delta.
+type Status string
+
+const (
+	// StatusOK means within the noise thresholds.
+	StatusOK Status = "ok"
+	// StatusFaster means ns/op improved beyond the time threshold.
+	StatusFaster Status = "faster"
+	// StatusRegression means a gated axis exceeded its threshold.
+	StatusRegression Status = "regression"
+	// StatusNew means the benchmark has no baseline entry yet.
+	StatusNew Status = "new"
+	// StatusRemoved means the baseline entry is absent from the
+	// current run (informational; partial-suite runs cause this).
+	StatusRemoved Status = "removed"
+)
+
+// Delta is one benchmark's comparison against the baseline.
+type Delta struct {
+	Name      string
+	Status    Status
+	OldNs     float64
+	NewNs     float64
+	OldAllocs int64
+	NewAllocs int64
+	// Reason says which axis regressed and by how much; empty unless
+	// Status is StatusRegression.
+	Reason string
+}
+
+// TimeRatio returns NewNs/OldNs, or 0 when there is no baseline.
+func (d Delta) TimeRatio() float64 {
+	if d.OldNs <= 0 {
+		return 0
+	}
+	return d.NewNs / d.OldNs
+}
+
+// Report is the outcome of comparing a fresh run against a baseline
+// ledger.
+type Report struct {
+	BaselineStamp string
+	CurrentStamp  string
+	Thresholds    Thresholds
+	// SameHost notes whether the two ledgers share a host fingerprint;
+	// cross-host wall-time ratios are printed but should not be gated.
+	SameHost bool
+	Deltas   []Delta
+}
+
+// Compare diffs current against base under the given thresholds.
+// Deltas follow current's entry order, with removed baseline entries
+// appended in baseline order.
+func Compare(base, current *Ledger, th Thresholds) *Report {
+	r := &Report{
+		BaselineStamp: base.Stamp,
+		CurrentStamp:  current.Stamp,
+		Thresholds:    th,
+		SameHost:      base.Host == current.Host,
+	}
+	for _, cur := range current.Entries {
+		old := base.Entry(cur.Name)
+		if old == nil {
+			r.Deltas = append(r.Deltas, Delta{
+				Name: cur.Name, Status: StatusNew,
+				NewNs: cur.NsPerOp, NewAllocs: cur.AllocsPerOp,
+			})
+			continue
+		}
+		d := Delta{
+			Name:      cur.Name,
+			Status:    StatusOK,
+			OldNs:     old.NsPerOp,
+			NewNs:     cur.NsPerOp,
+			OldAllocs: old.AllocsPerOp,
+			NewAllocs: cur.AllocsPerOp,
+		}
+		var reasons []string
+		if th.Time >= 0 && old.NsPerOp > 0 && cur.NsPerOp > old.NsPerOp*(1+th.Time) {
+			reasons = append(reasons, fmt.Sprintf("time %.0f→%.0f ns/op (%.2fx > 1+%.2f)",
+				old.NsPerOp, cur.NsPerOp, cur.NsPerOp/old.NsPerOp, th.Time))
+		}
+		if th.Allocs >= 0 && float64(cur.AllocsPerOp) > float64(old.AllocsPerOp)*(1+th.Allocs)+0.5 {
+			reasons = append(reasons, fmt.Sprintf("allocs %d→%d per op (> %.1f)",
+				old.AllocsPerOp, cur.AllocsPerOp, float64(old.AllocsPerOp)*(1+th.Allocs)+0.5))
+		}
+		switch {
+		case len(reasons) > 0:
+			d.Status = StatusRegression
+			d.Reason = strings.Join(reasons, "; ")
+		case th.Time >= 0 && old.NsPerOp > 0 && cur.NsPerOp < old.NsPerOp*(1-th.Time):
+			d.Status = StatusFaster
+		}
+		r.Deltas = append(r.Deltas, d)
+	}
+	for _, old := range base.Entries {
+		if current.Entry(old.Name) == nil {
+			r.Deltas = append(r.Deltas, Delta{
+				Name: old.Name, Status: StatusRemoved,
+				OldNs: old.NsPerOp, OldAllocs: old.AllocsPerOp,
+			})
+		}
+	}
+	return r
+}
+
+// Regressions returns the deltas that failed a gated axis.
+func (r *Report) Regressions() []Delta {
+	var out []Delta
+	for _, d := range r.Deltas {
+		if d.Status == StatusRegression {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Gate returns nil when no benchmark regressed, and otherwise an error
+// naming every regression. New and removed benchmarks never fail the
+// gate: adding a benchmark must not require a ledger in the same
+// commit, and partial-suite runs must be comparable.
+func (r *Report) Gate() error {
+	regs := r.Regressions()
+	if len(regs) == 0 {
+		return nil
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "perf: %d benchmark(s) regressed vs baseline %s:", len(regs), r.BaselineStamp)
+	for _, d := range regs {
+		fmt.Fprintf(&b, "\n  %s: %s", d.Name, d.Reason)
+	}
+	return fmt.Errorf("%s", b.String())
+}
+
+// Table renders the report as an aligned text table.
+func (r *Report) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "baseline %s  →  current %s", r.BaselineStamp, r.CurrentStamp)
+	if !r.SameHost {
+		b.WriteString("  (different host: wall-time ratios are not comparable)")
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%-16s %-10s %14s %14s %7s %9s %9s\n",
+		"benchmark", "status", "old ns/op", "new ns/op", "ratio", "old alloc", "new alloc")
+	for _, d := range r.Deltas {
+		ratio := "-"
+		if rt := d.TimeRatio(); rt > 0 {
+			ratio = fmt.Sprintf("%.2fx", rt)
+		}
+		fmt.Fprintf(&b, "%-16s %-10s %14.0f %14.0f %7s %9d %9d\n",
+			d.Name, d.Status, d.OldNs, d.NewNs, ratio, d.OldAllocs, d.NewAllocs)
+		if d.Reason != "" {
+			fmt.Fprintf(&b, "%-16s   ↳ %s\n", "", d.Reason)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,199 @@
+package perf
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Schema is the on-disk ledger format version. Load rejects files with
+// any other value so stale formats fail loudly instead of comparing
+// garbage.
+const Schema = 1
+
+const (
+	filePrefix  = "BENCH_"
+	fileSuffix  = ".json"
+	stampLayout = "20060102T150405"
+)
+
+// ErrNoBaseline is returned by Latest when the directory holds no
+// ledger files.
+var ErrNoBaseline = errors.New("perf: no BENCH_*.json ledger found")
+
+// Entry is one benchmark's measured result.
+type Entry struct {
+	Name        string             `json:"name"`
+	Iters       int                `json:"iters"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// HostInfo fingerprints the machine a ledger was recorded on. Wall-time
+// ratios are only comparable between entries with matching
+// fingerprints; allocs/op is comparable across machines.
+type HostInfo struct {
+	OS        string `json:"os"`
+	Arch      string `json:"arch"`
+	NumCPU    int    `json:"num_cpu"`
+	CPUModel  string `json:"cpu_model,omitempty"`
+	GoVersion string `json:"go_version"`
+}
+
+// Ledger is one recorded run of a benchmark suite: the measurements
+// plus the provenance needed to compare them honestly.
+type Ledger struct {
+	Schema    int      `json:"schema"`
+	Stamp     string   `json:"stamp"` // UTC, 20060102T150405; orders files chronologically by name
+	Commit    string   `json:"commit,omitempty"`
+	Suite     string   `json:"suite"`
+	Benchtime string   `json:"benchtime,omitempty"`
+	Host      HostInfo `json:"host"`
+	Entries   []Entry  `json:"entries"`
+}
+
+// NewLedger returns a ledger stamped with the current wall time, the
+// repo's HEAD commit (best-effort) and the host fingerprint. Entries
+// are filled by the caller from RunSuite.
+func NewLedger(suite, benchtime string) *Ledger {
+	return &Ledger{
+		Schema: Schema,
+		//bce:wallclock the stamp is provenance for a real-world measurement
+		Stamp:     time.Now().UTC().Format(stampLayout),
+		Commit:    gitCommit(),
+		Suite:     suite,
+		Benchtime: benchtime,
+		Host: HostInfo{
+			OS:        runtime.GOOS,
+			Arch:      runtime.GOARCH,
+			NumCPU:    runtime.NumCPU(),
+			CPUModel:  cpuModel(),
+			GoVersion: runtime.Version(),
+		},
+	}
+}
+
+// Entry returns the named benchmark's entry, or nil.
+func (l *Ledger) Entry(name string) *Entry {
+	for i := range l.Entries {
+		if l.Entries[i].Name == name {
+			return &l.Entries[i]
+		}
+	}
+	return nil
+}
+
+// FileName returns the ledger's canonical file name,
+// BENCH_<stamp>.json. The stamp layout sorts lexicographically in
+// chronological order, which is what Latest relies on.
+func (l *Ledger) FileName() string {
+	return filePrefix + l.Stamp + fileSuffix
+}
+
+// Save writes the ledger into dir under its canonical name and returns
+// the path.
+func Save(dir string, l *Ledger) (string, error) {
+	if l.Schema != Schema {
+		return "", fmt.Errorf("perf: refusing to save ledger with schema %d (want %d)", l.Schema, Schema)
+	}
+	data, err := json.MarshalIndent(l, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("perf: encoding ledger: %w", err)
+	}
+	path := filepath.Join(dir, l.FileName())
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return "", fmt.Errorf("perf: writing ledger: %w", err)
+	}
+	return path, nil
+}
+
+// Load reads and validates one ledger file. Corrupt JSON and
+// wrong-schema files are rejected with errors naming the file.
+func Load(path string) (*Ledger, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("perf: reading ledger: %w", err)
+	}
+	var l Ledger
+	if err := json.Unmarshal(data, &l); err != nil {
+		return nil, fmt.Errorf("perf: corrupt ledger %s: %w", path, err)
+	}
+	if l.Schema != Schema {
+		return nil, fmt.Errorf("perf: ledger %s has schema %d, this build reads schema %d — re-record it with `bcectl bench run`", path, l.Schema, Schema)
+	}
+	if len(l.Entries) == 0 {
+		return nil, fmt.Errorf("perf: ledger %s has no entries", path)
+	}
+	return &l, nil
+}
+
+// List returns the paths of all ledger files in dir, oldest first.
+func List(dir string) ([]string, error) {
+	glob := filepath.Join(dir, filePrefix+"*"+fileSuffix)
+	paths, err := filepath.Glob(glob)
+	if err != nil {
+		return nil, fmt.Errorf("perf: listing ledgers: %w", err)
+	}
+	sort.Strings(paths)
+	return paths, nil
+}
+
+// Latest loads the newest ledger in dir (by file name, which the stamp
+// layout makes chronological). It returns ErrNoBaseline when the
+// directory has none.
+func Latest(dir string) (*Ledger, string, error) {
+	paths, err := List(dir)
+	if err != nil {
+		return nil, "", err
+	}
+	if len(paths) == 0 {
+		return nil, "", fmt.Errorf("%w in %s", ErrNoBaseline, dir)
+	}
+	path := paths[len(paths)-1]
+	l, err := Load(path)
+	if err != nil {
+		return nil, "", err
+	}
+	return l, path, nil
+}
+
+// gitCommit returns the repository HEAD (short hash, "-dirty" suffix
+// when the tree has modifications), or "" outside a git checkout.
+// Provenance is best-effort: a ledger without a commit is still valid.
+func gitCommit() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	commit := strings.TrimSpace(string(out))
+	if st, err := exec.Command("git", "status", "--porcelain").Output(); err == nil && len(strings.TrimSpace(string(st))) > 0 {
+		commit += "-dirty"
+	}
+	return commit
+}
+
+// cpuModel reads the CPU model name from /proc/cpuinfo (linux);
+// best-effort elsewhere.
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if name, ok := strings.CutPrefix(line, "model name"); ok {
+			if _, val, ok := strings.Cut(name, ":"); ok {
+				return strings.TrimSpace(val)
+			}
+		}
+	}
+	return ""
+}

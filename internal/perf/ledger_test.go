@@ -1,0 +1,246 @@
+package perf
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func mkLedger(stamp string, entries ...Entry) *Ledger {
+	return &Ledger{
+		Schema:  Schema,
+		Stamp:   stamp,
+		Suite:   "test",
+		Host:    HostInfo{OS: "linux", Arch: "amd64", NumCPU: 4, GoVersion: "go1.24.0"},
+		Entries: entries,
+	}
+}
+
+func entry(name string, ns float64, allocs int64) Entry {
+	return Entry{Name: name, Iters: 100, NsPerOp: ns, AllocsPerOp: allocs}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l := mkLedger("20260101T000000", entry("a", 1000, 5))
+	path, err := Save(dir, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "BENCH_20260101T000000.json" {
+		t.Fatalf("canonical name: got %s", filepath.Base(path))
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Stamp != l.Stamp || len(got.Entries) != 1 ||
+		got.Entries[0].Name != "a" || got.Entries[0].NsPerOp != 1000 || got.Entries[0].AllocsPerOp != 5 {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestLatestMissingBaseline(t *testing.T) {
+	_, _, err := Latest(t.TempDir())
+	if !errors.Is(err, ErrNoBaseline) {
+		t.Fatalf("want ErrNoBaseline, got %v", err)
+	}
+}
+
+func TestLatestPicksNewest(t *testing.T) {
+	dir := t.TempDir()
+	for _, stamp := range []string{"20260102T000000", "20260101T000000", "20260103T120000"} {
+		if _, err := Save(dir, mkLedger(stamp, entry("a", 1, 0))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l, path, err := Latest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Stamp != "20260103T120000" {
+		t.Fatalf("latest stamp: got %s", l.Stamp)
+	}
+	if filepath.Base(path) != "BENCH_20260103T120000.json" {
+		t.Fatalf("latest path: got %s", path)
+	}
+}
+
+func TestLoadCorruptLedgerRejected(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_20260101T000000.json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Load(path)
+	if err == nil || !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("want corrupt-ledger error naming the file, got %v", err)
+	}
+	if !strings.Contains(err.Error(), path) {
+		t.Fatalf("error should name the file: %v", err)
+	}
+}
+
+func TestLoadOldSchemaRejected(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_20260101T000000.json")
+	data := `{"schema": 0, "stamp": "20260101T000000", "suite": "test",
+	          "host": {}, "entries": [{"name": "a", "iters": 1, "ns_per_op": 1}]}`
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Load(path)
+	if err == nil || !strings.Contains(err.Error(), "schema 0") {
+		t.Fatalf("want schema error, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "bcectl bench run") {
+		t.Fatalf("schema error should say how to re-record: %v", err)
+	}
+}
+
+func TestSaveRejectsWrongSchema(t *testing.T) {
+	l := mkLedger("20260101T000000", entry("a", 1, 0))
+	l.Schema = 99
+	if _, err := Save(t.TempDir(), l); err == nil {
+		t.Fatal("want error saving wrong-schema ledger")
+	}
+}
+
+func TestLoadEmptyEntriesRejected(t *testing.T) {
+	dir := t.TempDir()
+	path, err := Save(dir, mkLedger("20260101T000000"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil || !strings.Contains(err.Error(), "no entries") {
+		t.Fatalf("want no-entries error, got %v", err)
+	}
+}
+
+func deltaFor(t *testing.T, r *Report, name string) Delta {
+	t.Helper()
+	for _, d := range r.Deltas {
+		if d.Name == name {
+			return d
+		}
+	}
+	t.Fatalf("no delta for %s in %+v", name, r.Deltas)
+	return Delta{}
+}
+
+func TestCompareNewBenchmarkPassesGate(t *testing.T) {
+	base := mkLedger("20260101T000000", entry("old", 1000, 5))
+	cur := mkLedger("20260102T000000", entry("old", 1000, 5), entry("fresh", 500, 2))
+	r := Compare(base, cur, DefaultThresholds)
+	if d := deltaFor(t, r, "fresh"); d.Status != StatusNew {
+		t.Fatalf("fresh benchmark: want %s, got %s", StatusNew, d.Status)
+	}
+	if err := r.Gate(); err != nil {
+		t.Fatalf("new benchmark must not fail the gate: %v", err)
+	}
+}
+
+func TestCompareRemovedBenchmarkPassesGate(t *testing.T) {
+	base := mkLedger("20260101T000000", entry("kept", 1000, 5), entry("gone", 100, 1))
+	cur := mkLedger("20260102T000000", entry("kept", 1000, 5))
+	r := Compare(base, cur, DefaultThresholds)
+	if d := deltaFor(t, r, "gone"); d.Status != StatusRemoved {
+		t.Fatalf("removed benchmark: want %s, got %s", StatusRemoved, d.Status)
+	}
+	if err := r.Gate(); err != nil {
+		t.Fatalf("removed benchmark must not fail the gate: %v", err)
+	}
+}
+
+func TestCompareTimeThresholdBoundary(t *testing.T) {
+	th := Thresholds{Time: 0.20, Allocs: 0.10}
+	base := mkLedger("20260101T000000", entry("b", 1000, 0))
+
+	// Just under: 19% slower stays ok.
+	cur := mkLedger("20260102T000000", entry("b", 1190, 0))
+	if d := deltaFor(t, Compare(base, cur, th), "b"); d.Status != StatusOK {
+		t.Fatalf("19%% slowdown under a 20%% threshold: want ok, got %s (%s)", d.Status, d.Reason)
+	}
+
+	// Just over: 21% slower regresses, and the gate fails naming it.
+	cur = mkLedger("20260102T000000", entry("b", 1210, 0))
+	r := Compare(base, cur, th)
+	d := deltaFor(t, r, "b")
+	if d.Status != StatusRegression {
+		t.Fatalf("21%% slowdown over a 20%% threshold: want regression, got %s", d.Status)
+	}
+	err := r.Gate()
+	if err == nil || !strings.Contains(err.Error(), "b:") {
+		t.Fatalf("gate must fail naming the benchmark, got %v", err)
+	}
+
+	// Big improvement is reported as faster, never gated.
+	cur = mkLedger("20260102T000000", entry("b", 500, 0))
+	r = Compare(base, cur, th)
+	if d := deltaFor(t, r, "b"); d.Status != StatusFaster {
+		t.Fatalf("2x speedup: want faster, got %s", d.Status)
+	}
+	if err := r.Gate(); err != nil {
+		t.Fatalf("speedup must pass the gate: %v", err)
+	}
+}
+
+func TestCompareAllocThresholdBoundary(t *testing.T) {
+	th := Thresholds{Time: -1, Allocs: 0.10} // the CI axis split: time off, allocs on
+	base := mkLedger("20260101T000000", entry("b", 1000, 100))
+
+	// 10% growth exactly (plus the half-alloc grace) stays ok.
+	cur := mkLedger("20260102T000000", entry("b", 9999999, 110))
+	if d := deltaFor(t, Compare(base, cur, th), "b"); d.Status != StatusOK {
+		t.Fatalf("110 allocs vs 100 under 10%%: want ok, got %s (%s)", d.Status, d.Reason)
+	}
+
+	// One alloc past the grace regresses even though time is wild.
+	cur = mkLedger("20260102T000000", entry("b", 9999999, 111))
+	r := Compare(base, cur, th)
+	if d := deltaFor(t, r, "b"); d.Status != StatusRegression {
+		t.Fatalf("111 allocs vs 100 over 10%%: want regression, got %s", d.Status)
+	}
+	if err := r.Gate(); err == nil {
+		t.Fatal("alloc regression must fail the gate")
+	}
+
+	// Zero-alloc baselines don't trip on rounding but do trip on growth.
+	base = mkLedger("20260101T000000", entry("z", 1000, 0))
+	cur = mkLedger("20260102T000000", entry("z", 1000, 0))
+	if d := deltaFor(t, Compare(base, cur, th), "z"); d.Status != StatusOK {
+		t.Fatalf("0→0 allocs: want ok, got %s", d.Status)
+	}
+	cur = mkLedger("20260102T000000", entry("z", 1000, 1))
+	if d := deltaFor(t, Compare(base, cur, th), "z"); d.Status != StatusRegression {
+		t.Fatalf("0→1 allocs: want regression, got %s", d.Status)
+	}
+}
+
+func TestCompareNegativeThresholdsDisableAxes(t *testing.T) {
+	base := mkLedger("20260101T000000", entry("b", 1000, 10))
+	cur := mkLedger("20260102T000000", entry("b", 9000, 900))
+
+	if r := Compare(base, cur, Thresholds{Time: -1, Allocs: -1}); r.Gate() != nil {
+		t.Fatal("both axes disabled: nothing can regress")
+	}
+	r := Compare(base, cur, Thresholds{Time: -1, Allocs: 0.10})
+	d := deltaFor(t, r, "b")
+	if d.Status != StatusRegression || !strings.Contains(d.Reason, "allocs") || strings.Contains(d.Reason, "time") {
+		t.Fatalf("time-disabled gate should flag only allocs: %s (%s)", d.Status, d.Reason)
+	}
+}
+
+func TestCompareFlagsHostMismatch(t *testing.T) {
+	base := mkLedger("20260101T000000", entry("b", 1000, 0))
+	cur := mkLedger("20260102T000000", entry("b", 1000, 0))
+	cur.Host.CPUModel = "different"
+	if r := Compare(base, cur, DefaultThresholds); r.SameHost {
+		t.Fatal("different host fingerprints must clear SameHost")
+	}
+	if !strings.Contains(Compare(base, cur, DefaultThresholds).Table(), "different host") {
+		t.Fatal("table should warn about cross-host comparison")
+	}
+}

@@ -1,0 +1,63 @@
+package perf
+
+import (
+	"flag"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// testingInit makes the testing package usable outside `go test`:
+// testing.Init registers the test.* flags that testing.Benchmark reads
+// (benchtime in particular). It must run exactly once per process and
+// only after the host program has parsed its own flags, so callers go
+// through RunSuite rather than touching testing directly.
+var testingInit sync.Once
+
+// RunSuite executes the given benchmarks via testing.Benchmark and
+// returns one ledger entry per benchmark, in suite order. benchtime is
+// a `go test -benchtime` value ("1x", "100x", "2s"); empty keeps the
+// testing default of 1s. logf, when non-nil, receives one progress line
+// per finished benchmark.
+//
+// Allocation counts are always collected (testing.Benchmark samples
+// memstats regardless of b.ReportAllocs), so AllocsPerOp is meaningful
+// for every entry. A benchmark that calls b.Fatal or b.Skip yields a
+// zero-iteration result, which RunSuite reports as an error rather
+// than recording a bogus zero entry.
+func RunSuite(benches []Bench, benchtime string, logf func(format string, args ...any)) ([]Entry, error) {
+	if len(benches) == 0 {
+		return nil, fmt.Errorf("perf: empty benchmark suite")
+	}
+	testingInit.Do(testing.Init)
+	if benchtime != "" {
+		if err := flag.Set("test.benchtime", benchtime); err != nil {
+			return nil, fmt.Errorf("perf: bad benchtime %q: %w", benchtime, err)
+		}
+	}
+	entries := make([]Entry, 0, len(benches))
+	for _, bn := range benches {
+		r := testing.Benchmark(bn.F)
+		if r.N == 0 {
+			return nil, fmt.Errorf("perf: benchmark %s failed (b.Fatal/b.Skip inside the benchmark)", bn.Name)
+		}
+		e := Entry{
+			Name:        bn.Name,
+			Iters:       r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		if len(r.Extra) > 0 {
+			e.Metrics = make(map[string]float64, len(r.Extra))
+			for k, v := range r.Extra {
+				e.Metrics[k] = v
+			}
+		}
+		entries = append(entries, e)
+		if logf != nil {
+			logf("%-16s %12.0f ns/op %8d allocs/op %6d iters", bn.Name, e.NsPerOp, e.AllocsPerOp, e.Iters)
+		}
+	}
+	return entries, nil
+}

@@ -1,0 +1,24 @@
+package population
+
+import "bce/internal/runner"
+
+// The population engine once declared its own worker/progress option
+// types; they are now thin aliases of the shared option set in
+// internal/runner, kept so pre-consolidation call sites compile.
+// (Params.Progress is different: it reports folded samples, not runs,
+// and stays a Params field.)
+
+// Option configures the batch engine underlying Run and Resume.
+//
+// Deprecated: use runner.Option (re-exported as bce.BatchOption).
+type Option = runner.Option
+
+// WithWorkers bounds the engine's worker pool.
+//
+// Deprecated: use runner.WithWorkers.
+var WithWorkers = runner.WithWorkers
+
+// WithProgress installs a live batch-progress callback.
+//
+// Deprecated: use runner.WithProgress.
+var WithProgress = runner.WithProgress

@@ -111,16 +111,42 @@ const maxSteps = 100000
 // concurrent use; each goroutine (each emulated client) keeps its own.
 type Simulator struct {
 	rem    []float64 // per-job remaining instance-seconds
-	demand []float64 // per-project demand for the type being allocated
 	alloc  []float64 // allocate() output
 	active []bool    // allocate() progressive-filling state
-	seated []seat    // jobs granted capacity in the current step
 
-	// groups[t][p] holds the indices of type-t jobs of project p in
-	// arrival order, so the per-step demand and seating loops visit
-	// exactly the jobs they concern instead of scanning the whole
-	// queue once per project.
+	// groups[t][p] holds the indices of unfinished type-t jobs of
+	// project p in arrival order, so the seating loop visits exactly
+	// the jobs it concerns instead of scanning the whole queue once
+	// per project. Jobs leave their group as they complete.
 	groups [host.NumProcTypes][][]int32
+
+	// demand[t][p] caches group (t,p)'s unfinished instance demand.
+	// Demand only changes when a member job finishes, so instead of
+	// rescanning every group every step, finishes mark their group in
+	// dirty and only those are recomputed before the next step.
+	//
+	// exact[t][p] marks groups whose every member has an integral
+	// Instances value with an integral total below 2^52: for those,
+	// float64 addition and subtraction are exact, so ANY summation
+	// order yields the same bits and a finish can simply subtract the
+	// job's demand instead of rescanning the group. Non-integral
+	// groups keep the ordered rescan, which reproduces the reference
+	// summation order bit for bit.
+	demand [host.NumProcTypes][]float64
+	exact  [host.NumProcTypes][]bool
+	dirty  []groupKey
+
+	// seats[t] is type t's current seating: the jobs granted capacity
+	// and their drain rates. Rates depend only on the type's group
+	// membership and allocation — not on remaining work — so the list
+	// stays valid until a type-t group goes dirty and is rebuilt then.
+	seats [host.NumProcTypes][]seat
+}
+
+// groupKey names one (type, project) job group.
+type groupKey struct {
+	t host.ProcType
+	p int32
 }
 
 // seat is one job's capacity grant for the current step.
@@ -147,9 +173,18 @@ func growFloats(s []float64, n int) []float64 {
 	return s[:n]
 }
 
-// Run executes the round-robin simulation.
+// Run executes the round-robin simulation, allocating a fresh Result.
 func (s *Simulator) Run(in Input) *Result {
 	res := &Result{}
+	s.RunInto(res, in)
+	return res
+}
+
+// RunInto executes the round-robin simulation, resetting res and
+// writing the outcome into it. Hot-path callers keep one Result and
+// reuse it across runs so a steady-state Run allocates nothing at all.
+func (s *Simulator) RunInto(res *Result, in Input) {
+	*res = Result{}
 	for t := host.ProcType(0); t < host.NumProcTypes; t++ {
 		if in.OnFrac[t] == 0 {
 			in.OnFrac[t] = 1
@@ -176,9 +211,11 @@ func (s *Simulator) Run(in Input) *Result {
 		}
 	}
 
-	// Index jobs by (type, project). Jobs whose project has no share
-	// entry get no group: they can never run and are classified
-	// endangered at the end, like any other job with no rate.
+	// Index unfinished jobs by (type, project). Jobs whose project has
+	// no share entry get no group: they can never run and are
+	// classified endangered at the end, like any other job with no
+	// rate. Already-finished jobs are left out: they contribute no
+	// demand and the seating loop would skip them anyway.
 	for t := range s.groups {
 		for len(s.groups[t]) < nproj {
 			s.groups[t] = append(s.groups[t], nil)
@@ -187,10 +224,34 @@ func (s *Simulator) Run(in Input) *Result {
 			s.groups[t][p] = s.groups[t][p][:0]
 		}
 	}
+	// Demand accumulates during the same scan, job by job in arrival
+	// order — the order the dirty-group sweep uses, so the two always
+	// agree bit for bit. Groups that stay integral are marked exact:
+	// their sums carry no rounding, so later finishes can maintain
+	// demand by subtraction (see the exact field).
+	for t := range s.demand {
+		s.demand[t] = growFloats(s.demand[t], nproj)
+		d := s.demand[t]
+		for p := range d {
+			d[p] = 0
+		}
+		if cap(s.exact[t]) < nproj {
+			s.exact[t] = make([]bool, nproj)
+		}
+		s.exact[t] = s.exact[t][:nproj]
+		for p := range s.exact[t] {
+			s.exact[t][p] = true
+		}
+	}
 	for i, j := range in.Jobs {
-		if j.Project >= 0 && j.Project < nproj &&
+		if rem[i] > 0 && j.Project >= 0 && j.Project < nproj &&
 			j.Type >= 0 && j.Type < host.NumProcTypes {
 			s.groups[j.Type][j.Project] = append(s.groups[j.Type][j.Project], int32(i))
+			s.demand[j.Type][j.Project] += j.Instances
+			if s.demand[j.Type][j.Project] >= 1<<52 ||
+				(j.Instances != 1 && j.Instances != math.Trunc(j.Instances)) {
+				s.exact[j.Type][j.Project] = false
+			}
 		}
 	}
 
@@ -198,31 +259,60 @@ func (s *Simulator) Run(in Input) *Result {
 	firstStep := true
 	elapsed := 0.0 // sim time since Now
 
-	s.demand = growFloats(s.demand, nproj)
-	demand := s.demand
+	s.dirty = s.dirty[:0]
+
+	// busy and the per-type seat lists persist across steps; a type is
+	// re-allocated and re-seated only when one of its groups changes.
+	var busy [host.NumProcTypes]float64
+	var seatsStale [host.NumProcTypes]bool
+	for t := range seatsStale {
+		seatsStale[t] = true
+		s.seats[t] = s.seats[t][:0]
+	}
 
 	for step := 0; step < maxSteps; step++ {
-		// Compute per-project demand and allocation for each type, then
-		// per-job drain rates; track the earliest completion as rates
-		// are assigned, so no separate scan over the queue is needed.
-		var busy [host.NumProcTypes]float64
-		s.seated = s.seated[:0]
-		dt := math.Inf(1)
-		for t := host.ProcType(0); t < host.NumProcTypes; t++ {
-			n := float64(in.Hardware.Proc[t].Count)
-			if n == 0 {
-				continue
-			}
-			groups := s.groups[t]
-			for p := range demand {
-				demand[p] = 0
-				for _, i := range groups[p] {
+		// Refresh dirty groups — those with a finish since the last
+		// step. Exact groups were already compacted and their demand
+		// adjusted by subtraction at finish time (bit-identical: their
+		// arithmetic carries no rounding), so they only invalidate the
+		// seating. The rest get one ordered sweep each: drop finished
+		// members (preserving the arrival order of the rest) and
+		// re-sum the survivors' demand. The sum visits unfinished jobs
+		// in arrival order, exactly the scan the per-step recompute
+		// used before demands were cached, so every bit of the float64
+		// matches.
+		for _, k := range s.dirty {
+			if !s.exact[k.t][k.p] {
+				g := s.groups[k.t][k.p]
+				kept := g[:0]
+				var d float64
+				for _, i := range g {
 					if rem[i] > 0 {
-						demand[p] += in.Jobs[i].Instances
+						d += in.Jobs[i].Instances
+						kept = append(kept, i)
 					}
 				}
+				s.groups[k.t][k.p] = kept
+				s.demand[k.t][k.p] = d
 			}
-			alloc := s.allocate(demand, in.Shares, n)
+			seatsStale[k.t] = true
+		}
+		s.dirty = s.dirty[:0]
+
+		// Re-allocate stale types over the cached demands and seat
+		// their jobs. Seat rates depend only on group membership and
+		// allocation (never on remaining work), so an untouched type's
+		// seating carries over from the previous step unchanged.
+		for t := host.ProcType(0); t < host.NumProcTypes; t++ {
+			n := float64(in.Hardware.Proc[t].Count)
+			if n == 0 || !seatsStale[t] {
+				continue
+			}
+			seatsStale[t] = false
+			groups := s.groups[t]
+			alloc := s.allocate(s.demand[t], in.Shares, n)
+			busy[t] = 0
+			seats := s.seats[t][:0]
 			for p, a := range alloc {
 				busy[t] += a
 				if a <= 0 {
@@ -242,15 +332,17 @@ func (s *Simulator) Run(in Input) *Result {
 					if rem[i] <= 0 {
 						continue
 					}
-					r := math.Min(in.Jobs[i].Instances, a)
-					a -= r
-					rate := r * in.OnFrac[t]
-					s.seated = append(s.seated, seat{job: i, rate: rate})
-					if d := rem[i] / rate; d < dt {
-						dt = d
+					// min(Instances, a) by compare: both are strictly
+					// positive here, where math.Min is exact anyway.
+					r := in.Jobs[i].Instances
+					if a < r {
+						r = a
 					}
+					a -= r
+					seats = append(seats, seat{job: i, rate: r * in.OnFrac[t]})
 				}
 			}
+			s.seats[t] = seats
 			if invariant.Enabled {
 				// Progressive filling may never seat more instances than
 				// the device has: alloc caps at demand and sum(alloc) at
@@ -258,6 +350,23 @@ func (s *Simulator) Run(in Input) *Result {
 				invariant.Check(busy[t] <= n+1e-9,
 					"rrsim: seated %v instances of %v on %v devices", busy[t], t, n)
 			}
+		}
+
+		// Earliest completion among the seated jobs (the only ones
+		// draining). Pure min: visiting seats in the same type-then-
+		// seating order the merged list used yields the same value.
+		dt := math.Inf(1)
+		nseated := 0
+		for t := host.ProcType(0); t < host.NumProcTypes; t++ {
+			if in.Hardware.Proc[t].Count == 0 {
+				continue
+			}
+			for _, st := range s.seats[t] {
+				if d := rem[st.job] / st.rate; d < dt {
+					dt = d
+				}
+			}
+			nseated += len(s.seats[t])
 		}
 
 		if firstStep {
@@ -271,7 +380,7 @@ func (s *Simulator) Run(in Input) *Result {
 
 		// Step length: next job completion (or horizon end if no work).
 		atEnd := false
-		if unfinished == 0 || len(s.seated) == 0 || math.IsInf(dt, 1) {
+		if unfinished == 0 || nseated == 0 || math.IsInf(dt, 1) {
 			// Nothing can progress: run the clock to the horizon so the
 			// shortfall integral completes, then stop.
 			dt = in.HorizonMax - elapsed
@@ -287,12 +396,15 @@ func (s *Simulator) Run(in Input) *Result {
 			if n == 0 {
 				continue
 			}
-			idle := math.Max(0, n-busy[t])
-			if ov := overlap(elapsed, elapsed+dt, 0, in.HorizonMin); ov > 0 {
-				res.ShortfallMin[t] += idle * ov
-			}
-			if ov := overlap(elapsed, elapsed+dt, 0, in.HorizonMax); ov > 0 {
-				res.ShortfallMax[t] += idle * ov
+			// A saturated type contributes nothing to its shortfall
+			// integrals (idle*ov == 0), so skip the overlap tests.
+			if idle := math.Max(0, n-busy[t]); idle > 0 {
+				if ov := overlap(elapsed, elapsed+dt, 0, in.HorizonMin); ov > 0 {
+					res.ShortfallMin[t] += idle * ov
+				}
+				if ov := overlap(elapsed, elapsed+dt, 0, in.HorizonMax); ov > 0 {
+					res.ShortfallMax[t] += idle * ov
+				}
 			}
 			if satOpen[t] {
 				if busy[t] >= n-1e-9 {
@@ -312,18 +424,50 @@ func (s *Simulator) Run(in Input) *Result {
 			invariant.Check(dt >= 0 && !math.IsNaN(dt),
 				"rrsim: non-monotone step %v at elapsed %v", dt, elapsed)
 		}
-		// Advance the seated jobs (the only ones with a nonzero rate).
-		for _, st := range s.seated {
-			i := st.job
-			rem[i] -= st.rate * dt
-			if rem[i] <= 1e-9 {
-				rem[i] = 0
-				unfinished--
-				j := in.Jobs[i]
-				j.ProjectedFinish = in.Now + elapsed + dt
-				j.Endangered = j.ProjectedFinish > j.Deadline-in.DeadlineMargin
-				if j.Endangered {
-					res.NumEndangered++
+		// Advance the seated jobs (the only ones with a nonzero rate),
+		// in the same type-then-seating order the merged list used.
+		for t := host.ProcType(0); t < host.NumProcTypes; t++ {
+			if in.Hardware.Proc[t].Count == 0 {
+				continue
+			}
+			for _, st := range s.seats[t] {
+				i := st.job
+				rem[i] -= st.rate * dt
+				if rem[i] <= 1e-9 {
+					rem[i] = 0
+					unfinished--
+					j := in.Jobs[i]
+					j.ProjectedFinish = in.Now + elapsed + dt
+					j.Endangered = j.ProjectedFinish > j.Deadline-in.DeadlineMargin
+					if j.Endangered {
+						res.NumEndangered++
+					}
+					// The group's cached demand is now stale. Exact
+					// groups update in place — drop the job (keeping
+					// arrival order) and subtract its demand, which
+					// for integral values matches the ordered rescan
+					// bit for bit. Others defer to the dirty sweep at
+					// the top of the next step, which drops finished
+					// members and re-sums in one pass. Either way the
+					// group is marked dirty so its type re-seats;
+					// seats within a type are contiguous per project,
+					// so consecutive same-group finishes dedup against
+					// the last entry.
+					if s.exact[j.Type][j.Project] {
+						g := s.groups[j.Type][j.Project]
+						for k, gi := range g {
+							if gi == i {
+								copy(g[k:], g[k+1:])
+								s.groups[j.Type][j.Project] = g[:len(g)-1]
+								break
+							}
+						}
+						s.demand[j.Type][j.Project] -= j.Instances
+					}
+					k := groupKey{t: j.Type, p: int32(j.Project)}
+					if m := len(s.dirty); m == 0 || s.dirty[m-1] != k {
+						s.dirty = append(s.dirty, k)
+					}
 				}
 			}
 		}
@@ -341,7 +485,6 @@ func (s *Simulator) Run(in Input) *Result {
 			res.NumEndangered++
 		}
 	}
-	return res
 }
 
 // allocate distributes `total` capacity among demands in proportion to

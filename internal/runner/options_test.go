@@ -1,0 +1,51 @@
+package runner
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestResolveDefaults(t *testing.T) {
+	o := Resolve()
+	if want := runtime.GOMAXPROCS(0); o.Workers != want {
+		t.Fatalf("default Workers: got %d, want %d", o.Workers, want)
+	}
+	if o.Progress != nil || o.FailFast {
+		t.Fatalf("defaults should leave Progress nil and FailFast off: %+v", o)
+	}
+}
+
+func TestResolveAppliesOptionsInOrder(t *testing.T) {
+	o := Resolve(WithWorkers(2), WithFailFast(true), WithWorkers(7))
+	if o.Workers != 7 || !o.FailFast {
+		t.Fatalf("last option wins: %+v", o)
+	}
+}
+
+func TestWithOptionsStructForm(t *testing.T) {
+	var calls int
+	o := Resolve(WithOptions(Options{
+		Workers:  3,
+		Progress: func(Progress) { calls++ },
+		FailFast: true,
+	}))
+	if o.Workers != 3 || !o.FailFast || o.Progress == nil {
+		t.Fatalf("struct form must carry every set field: %+v", o)
+	}
+	o.Progress(Progress{})
+	if calls != 1 {
+		t.Fatal("Progress callback not preserved")
+	}
+}
+
+func TestWithOptionsZeroFieldsKeepDefaults(t *testing.T) {
+	// An all-zero struct is a no-op: unset fields must not clobber the
+	// resolved defaults (or earlier options).
+	o := Resolve(WithWorkers(5), WithOptions(Options{}))
+	if o.Workers != 5 {
+		t.Fatalf("zero Workers must not override an earlier option: got %d", o.Workers)
+	}
+	if o = Resolve(WithOptions(Options{})); o.Workers != runtime.GOMAXPROCS(0) {
+		t.Fatalf("zero struct must keep the default worker count: got %d", o.Workers)
+	}
+}

@@ -97,37 +97,81 @@ func (p Progress) EventsPerSec() float64 {
 	return float64(p.Events) / p.Elapsed.Seconds()
 }
 
-type options struct {
-	workers  int
-	progress func(Progress)
-	failFast bool
+// Options is the engine's one shared option set: every fan-out layer
+// (harness, study, fleet, population, the public bce batch API, the
+// CLIs) configures Batch through these knobs and no others. The zero
+// value selects all defaults. Apply it with WithOptions, or field by
+// field with the With* helpers; Resolve folds a helper list back into
+// a struct when a caller needs to inspect the effective settings.
+type Options struct {
+	// Workers bounds the worker pool to that many concurrent runs.
+	// Zero (or negative) selects the default, runtime.GOMAXPROCS(0).
+	Workers int
+
+	// Progress, when non-nil, receives a snapshot after every run
+	// state change. It is invoked serially (never concurrently with
+	// itself), so it need not be thread-safe, but it runs on worker
+	// goroutines and should return quickly.
+	Progress func(Progress)
+
+	// FailFast makes the first run error cancel the rest of the
+	// batch; Batch then returns that first error. Otherwise errors
+	// are recorded per run and the batch keeps going.
+	FailFast bool
 }
 
-// Option configures a Batch call.
-type Option func(*options)
+// Option configures a Batch call; build one with WithOptions or the
+// field helpers.
+type Option func(*Options)
 
-// WithWorkers bounds the worker pool to n concurrent runs. The default
-// is runtime.GOMAXPROCS(0); values below 1 are ignored.
-func WithWorkers(n int) Option {
-	return func(o *options) {
-		if n > 0 {
-			o.workers = n
+// WithOptions applies every set field of o at once — the struct form
+// of the field helpers, for callers assembling settings from config.
+// Zero fields leave the corresponding defaults untouched.
+func WithOptions(o Options) Option {
+	return func(dst *Options) {
+		if o.Workers > 0 {
+			dst.Workers = o.Workers
+		}
+		if o.Progress != nil {
+			dst.Progress = o.Progress
+		}
+		if o.FailFast {
+			dst.FailFast = true
 		}
 	}
 }
 
-// WithProgress installs a progress callback. It is invoked serially
-// (never concurrently with itself), so it need not be thread-safe, but
-// it runs on worker goroutines and should return quickly.
+// Resolve folds opts over the defaults and returns the effective
+// option set — what Batch itself runs with (before clamping workers
+// to the batch size).
+func Resolve(opts ...Option) Options {
+	o := Options{Workers: runtime.GOMAXPROCS(0)}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}
+
+// WithWorkers bounds the worker pool to n concurrent runs. The default
+// is runtime.GOMAXPROCS(0); values below 1 are ignored.
+func WithWorkers(n int) Option {
+	return func(o *Options) {
+		if n > 0 {
+			o.Workers = n
+		}
+	}
+}
+
+// WithProgress installs a progress callback; see Options.Progress for
+// the callback contract.
 func WithProgress(fn func(Progress)) Option {
-	return func(o *options) { o.progress = fn }
+	return func(o *Options) { o.Progress = fn }
 }
 
 // WithFailFast makes the first run error cancel the rest of the batch;
-// Batch then returns that first error. Without it, errors are recorded
-// per run and the batch keeps going.
+// see Options.FailFast.
 func WithFailFast(on bool) Option {
-	return func(o *options) { o.failFast = on }
+	return func(o *Options) { o.FailFast = on }
 }
 
 // DeriveSeed deterministically derives the i-th run's RNG seed from a
@@ -162,15 +206,12 @@ func Run(ctx context.Context, cfg client.Config) (res *client.Result, err error)
 // canceled, or a run failed under WithFailFast. Per-run failures are
 // otherwise reported in the results only.
 func Batch(ctx context.Context, specs []Spec, opts ...Option) ([]RunResult, error) {
-	o := options{workers: runtime.GOMAXPROCS(0)}
-	for _, opt := range opts {
-		opt(&o)
+	o := Resolve(opts...)
+	if o.Workers > len(specs) {
+		o.Workers = len(specs)
 	}
-	if o.workers > len(specs) {
-		o.workers = len(specs)
-	}
-	if o.workers < 1 {
-		o.workers = 1
+	if o.Workers < 1 {
+		o.Workers = 1
 	}
 
 	results := make([]RunResult, len(specs))
@@ -182,10 +223,10 @@ func Batch(ctx context.Context, specs []Spec, opts ...Option) ([]RunResult, erro
 	var mu sync.Mutex
 	prog := Progress{Total: len(specs)}
 	emit := func() { // callers hold mu
-		if o.progress != nil {
+		if o.Progress != nil {
 			p := prog
 			p.Elapsed = time.Since(start) //bce:wallclock
-			o.progress(p)
+			o.Progress(p)
 		}
 	}
 
@@ -196,7 +237,7 @@ func Batch(ctx context.Context, specs []Spec, opts ...Option) ([]RunResult, erro
 
 	indices := make(chan int)
 	var wg sync.WaitGroup
-	for w := 0; w < o.workers; w++ {
+	for w := 0; w < o.Workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -221,7 +262,7 @@ func Batch(ctx context.Context, specs []Spec, opts ...Option) ([]RunResult, erro
 				emit()
 				mu.Unlock()
 
-				if err != nil && o.failFast {
+				if err != nil && o.FailFast {
 					failOnce.Do(func() {
 						failErr = fmt.Errorf("runner: %s: %w", labelOf(sp, i), err)
 						cancel(failErr)

@@ -16,7 +16,7 @@ package sched
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"bce/internal/host"
 	"bce/internal/job"
@@ -86,12 +86,18 @@ type Input struct {
 }
 
 // Decision is the outcome of a scheduling pass: the exact set of tasks
-// that should be running.
+// that should be running. A Decision returned by an Enforcer aliases
+// the Enforcer's scratch storage and is valid until its next Enforce
+// call.
 type Decision struct {
 	Run []*job.Task
 }
 
 // RunSet returns the decision's tasks as a set for differencing.
+//
+// Deprecated: the run set is small (bounded by processor counts);
+// differencing with Decision.Contains avoids the per-pass map
+// allocation on the emulator's hot path.
 func (d Decision) RunSet() map[*job.Task]bool {
 	m := make(map[*job.Task]bool, len(d.Run))
 	for _, t := range d.Run {
@@ -100,20 +106,74 @@ func (d Decision) RunSet() map[*job.Task]bool {
 	return m
 }
 
+// Contains reports whether the decision schedules t. Linear scan: Run
+// is bounded by the host's processor counts, so this beats building a
+// set for realistic hardware.
+func (d Decision) Contains(t *job.Task) bool {
+	for _, r := range d.Run {
+		if r == t {
+			return true
+		}
+	}
+	return false
+}
+
 // rank orders the job list. Lower rank runs earlier in the scan.
 type rank struct {
 	task       *job.Task
 	class      int     // 0: running un-checkpointed, 1: endangered GPU, 2: GPU, 3: endangered CPU, 4: CPU
-	deadline   float64 // EDF key within endangered classes
-	prio       float64 // accounting priority otherwise
+	key        float64 // within a class, ascending: deadline (or laxity) for endangered classes, negated accounting priority otherwise
 	running    bool    // tie-break: prefer already-running (fewer preemptions)
 	receivedAt float64 // final tie-break: FIFO
 }
 
+// cmpRank is the job-list order as a three-way comparison. It is the
+// exact predicate the original sort.SliceStable call used (negating the
+// priority turns its descending comparison into key's ascending one —
+// equivalent for all finite floats); with a stable sort the output
+// ordering is uniquely determined by the predicate and the input order,
+// so swapping the sort implementation keeps emulations bit-identical.
+func cmpRank(a, b rank) int {
+	if lessRank(a, b) {
+		return -1
+	}
+	if lessRank(b, a) {
+		return 1
+	}
+	return 0
+}
+
+// lessRank is cmpRank as a strict less-than, cheap enough for the
+// insertion sort's inner loop.
+func lessRank(a, b rank) bool {
+	if a.class != b.class {
+		return a.class < b.class
+	}
+	if a.key != b.key {
+		return a.key < b.key
+	}
+	if a.running != b.running {
+		return a.running
+	}
+	return a.receivedAt < b.receivedAt
+}
+
+// Enforcer runs scheduling passes with reusable scratch storage, so a
+// steady-state pass allocates nothing. The zero value is ready to use.
+// Not safe for concurrent use; each emulated client owns one.
+type Enforcer struct {
+	ranks []rank
+	run   []*job.Task
+}
+
 // Enforce computes the set of tasks to run (paper §3.3's "build an
-// ordered job list, then scan it").
-func Enforce(in Input) Decision {
-	ranks := make([]rank, 0, len(in.Tasks))
+// ordered job list, then scan it"). The returned Decision aliases the
+// Enforcer's scratch and is valid until the next call.
+func (e *Enforcer) Enforce(in Input) Decision {
+	if cap(e.ranks) < len(in.Tasks) {
+		e.ranks = make([]rank, 0, len(in.Tasks))
+	}
+	ranks := e.ranks[:0]
 	for _, t := range in.Tasks {
 		if t.Finished() || t.State == job.Downloading {
 			continue // not runnable until its input files arrive
@@ -124,15 +184,8 @@ func Enforce(in Input) Decision {
 		}
 		r := rank{
 			task:       t,
-			deadline:   t.Deadline,
-			prio:       in.Prio(t.Project, t.Usage.Type()),
 			running:    t.State == job.Running,
 			receivedAt: t.ReceivedAt,
-		}
-		if in.Policy == JSLLF {
-			// Laxity: time to deadline minus estimated remaining
-			// execution. Least laxity runs first among endangered.
-			r.deadline = (t.Deadline - in.Now) - t.EstRemaining()
 		}
 		endangered := in.Policy.UsesDeadlines() && in.Endangered != nil && in.Endangered(t)
 		switch {
@@ -151,29 +204,33 @@ func Enforce(in Input) Decision {
 		default:
 			r.class = 4
 		}
-		ranks = append(ranks, r)
-	}
-
-	sort.SliceStable(ranks, func(i, j int) bool {
-		a, b := ranks[i], ranks[j]
-		if a.class != b.class {
-			return a.class < b.class
-		}
-		switch a.class {
-		case 1, 3: // endangered classes: earliest deadline first
-			if a.deadline != b.deadline {
-				return a.deadline < b.deadline
+		switch r.class {
+		case 1, 3: // endangered: earliest deadline (or least laxity) first
+			if in.Policy == JSLLF {
+				// Laxity: time to deadline minus estimated remaining
+				// execution.
+				r.key = (t.Deadline - in.Now) - t.EstRemaining()
+			} else {
+				r.key = t.Deadline
 			}
 		default:
-			if a.prio != b.prio {
-				return a.prio > b.prio
-			}
+			r.key = -in.Prio(t.Project, t.Usage.Type())
 		}
-		if a.running != b.running {
-			return a.running
-		}
-		return a.receivedAt < b.receivedAt
-	})
+		ranks = append(ranks, r)
+	}
+	e.ranks = ranks
+
+	// Stable sort. Any stable sort over the same comparator produces
+	// the same permutation, so the implementation is free to vary by
+	// size: small queues (the common case — one host's active tasks)
+	// use a direct insertion sort, which beats the generic sort's
+	// function-pointer comparisons; large queues fall back to the
+	// O(n log n) generic sort.
+	if len(ranks) <= smallSortMax {
+		insertionSortRanks(ranks)
+	} else {
+		slices.SortStableFunc(ranks, cmpRank)
+	}
 
 	// Scan: commit device instances and memory in rank order; stop when
 	// everything is saturated.
@@ -186,7 +243,7 @@ func Enforce(in Input) Decision {
 		memRemain = in.Hardware.MemBytes
 	}
 
-	var dec Decision
+	run := e.run[:0]
 	const eps = 1e-9
 	for _, r := range ranks {
 		u := r.task.Usage
@@ -211,13 +268,36 @@ func Enforce(in Input) Decision {
 			remain[host.CPU] -= u.AvgCPUs
 		}
 		memRemain -= u.MemBytes
-		dec.Run = append(dec.Run, r.task)
+		run = append(run, r.task)
 
 		if saturated(remain, in.Hardware) {
 			break
 		}
 	}
-	return dec
+	e.run = run
+	return Decision{Run: run}
+}
+
+// smallSortMax bounds the insertion-sorted queue size; beyond it the
+// quadratic comparison count overtakes the generic sort's overhead.
+const smallSortMax = 32
+
+// insertionSortRanks stable-sorts ranks in place by lessRank: an
+// element moves left only past strictly greater predecessors, so equal
+// elements keep their input order.
+func insertionSortRanks(r []rank) {
+	for i := 1; i < len(r); i++ {
+		for j := i; j > 0 && lessRank(r[j], r[j-1]); j-- {
+			r[j], r[j-1] = r[j-1], r[j]
+		}
+	}
+}
+
+// Enforce runs one scheduling pass with throwaway scratch. Hot-path
+// callers should keep an Enforcer and use its method.
+func Enforce(in Input) Decision {
+	var e Enforcer
+	return e.Enforce(in)
 }
 
 func saturated(remain [host.NumProcTypes]float64, hw *host.Hardware) bool {

@@ -21,6 +21,7 @@ type Timer struct {
 	fn       func()
 	index    int // heap index, -1 when popped or cancelled
 	canceled bool
+	pooled   bool // no caller holds a handle; recycle after firing
 }
 
 // At returns the absolute simulation time the timer is set for.
@@ -65,6 +66,12 @@ type Simulator struct {
 	seq    uint64
 	events eventHeap
 	nfired uint64
+
+	// free recycles Timer structs. Only timers provably unreferenced by
+	// callers enter it: Post* timers (no handle was ever returned) and
+	// explicitly Recycle()d handles. At/After/Post all draw from it, so
+	// a steady-state event loop stops allocating timers entirely.
+	free []*Timer
 }
 
 // New returns a simulator starting at time 0.
@@ -83,16 +90,7 @@ func (s *Simulator) Pending() int { return len(s.events) }
 // At schedules fn to run at absolute time t. Scheduling in the past
 // (t < Now()) panics: it indicates a logic error in the model.
 func (s *Simulator) At(t float64, fn func()) *Timer {
-	if t < s.now {
-		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, s.now))
-	}
-	if math.IsNaN(t) {
-		panic("sim: scheduling at NaN")
-	}
-	tm := &Timer{at: t, seq: s.seq, fn: fn}
-	s.seq++
-	heap.Push(&s.events, tm)
-	return tm
+	return s.schedule(t, fn, false)
 }
 
 // After schedules fn to run d seconds from now.
@@ -100,7 +98,88 @@ func (s *Simulator) After(d float64, fn func()) *Timer {
 	if d < 0 {
 		d = 0
 	}
-	return s.At(s.now+d, fn)
+	return s.schedule(s.now+d, fn, false)
+}
+
+// PostAt schedules fn at absolute time t fire-and-forget: no handle is
+// returned, so the timer cannot be cancelled, and its struct is
+// recycled after firing. Use it for the self-rescheduling chains that
+// dominate an emulation's event count.
+func (s *Simulator) PostAt(t float64, fn func()) {
+	s.schedule(t, fn, true)
+}
+
+// Post schedules fn to run d seconds from now, fire-and-forget.
+func (s *Simulator) Post(d float64, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	s.schedule(s.now+d, fn, true)
+}
+
+func (s *Simulator) schedule(t float64, fn func(), pooled bool) *Timer {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, s.now))
+	}
+	if math.IsNaN(t) {
+		panic("sim: scheduling at NaN")
+	}
+	var tm *Timer
+	if n := len(s.free); n > 0 {
+		tm = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		*tm = Timer{at: t, seq: s.seq, fn: fn, pooled: pooled}
+	} else {
+		tm = &Timer{at: t, seq: s.seq, fn: fn, pooled: pooled}
+	}
+	s.seq++
+	heap.Push(&s.events, tm)
+	return tm
+}
+
+// recycle resets a timer nobody references and pushes it on the
+// freelist. The fn reference is dropped so captured state can be
+// collected even while the struct sits in the pool.
+func (s *Simulator) recycle(t *Timer) {
+	*t = Timer{index: -1}
+	s.free = append(s.free, t)
+}
+
+// Recycle returns a timer handle to the simulator's pool. The caller
+// promises to drop the handle: after Recycle the Timer may be reused
+// by any later At/After/Post call. A pending timer is cancelled first;
+// recycling nil is a no-op.
+func (s *Simulator) Recycle(t *Timer) {
+	if t == nil {
+		return
+	}
+	if t.index >= 0 {
+		heap.Remove(&s.events, t.index)
+	}
+	s.recycle(t)
+}
+
+// Move reschedules a pending timer to absolute time at, keeping its
+// callback but taking a fresh sequence number — same-time ordering
+// behaves exactly as if the timer had been cancelled and rescheduled.
+// Moving a fired or cancelled timer panics: the caller's bookkeeping
+// is wrong, and silently rescheduling it would double-fire the
+// callback.
+func (s *Simulator) Move(t *Timer, at float64) {
+	if t == nil || t.index < 0 || t.canceled {
+		panic("sim: Move of inactive timer")
+	}
+	if at < s.now {
+		panic(fmt.Sprintf("sim: moving to %v before now %v", at, s.now))
+	}
+	if math.IsNaN(at) {
+		panic("sim: moving to NaN")
+	}
+	t.at = at
+	t.seq = s.seq
+	s.seq++
+	heap.Fix(&s.events, t.index)
 }
 
 // Cancel removes a timer so its callback never runs.
@@ -116,9 +195,15 @@ func (s *Simulator) Cancel(t *Timer) {
 	t.index = -1
 }
 
-// Reschedule cancels t and schedules its callback at a new absolute time,
-// returning the new timer.
+// Reschedule moves t's callback to a new absolute time, returning the
+// (possibly identical) timer handle. A still-pending timer is moved in
+// place; a fired or cancelled one gets a fresh timer for the same
+// callback.
 func (s *Simulator) Reschedule(t *Timer, at float64) *Timer {
+	if t.index >= 0 && !t.canceled {
+		s.Move(t, at)
+		return t
+	}
 	fn := t.fn
 	s.Cancel(t)
 	return s.At(at, fn)
@@ -130,6 +215,9 @@ func (s *Simulator) Step() bool {
 	for len(s.events) > 0 {
 		t := heap.Pop(&s.events).(*Timer)
 		if t.canceled {
+			if t.pooled {
+				s.recycle(t)
+			}
 			continue
 		}
 		if invariant.Enabled {
@@ -138,7 +226,13 @@ func (s *Simulator) Step() bool {
 		}
 		s.now = t.at
 		s.nfired++
-		t.fn()
+		fn := t.fn
+		if t.pooled {
+			// Recycled before firing so a self-rescheduling chain can
+			// reuse the very struct it is running from.
+			s.recycle(t)
+		}
+		fn()
 		return true
 	}
 	return false
@@ -164,6 +258,9 @@ func (s *Simulator) RunUntilN(end float64, max int) int {
 		t := s.events[0]
 		if t.canceled {
 			heap.Pop(&s.events)
+			if t.pooled {
+				s.recycle(t)
+			}
 			continue
 		}
 		if t.at > end {
@@ -176,7 +273,11 @@ func (s *Simulator) RunUntilN(end float64, max int) int {
 		}
 		s.now = t.at
 		s.nfired++
-		t.fn()
+		fn := t.fn
+		if t.pooled {
+			s.recycle(t)
+		}
+		fn()
 		fired++
 	}
 	if fired < max && end > s.now {

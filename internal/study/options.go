@@ -1,0 +1,22 @@
+package study
+
+import "bce/internal/runner"
+
+// The study layer once declared its own worker/progress option types;
+// they are now thin aliases of the engine's shared option set in
+// internal/runner, kept so pre-consolidation call sites compile.
+
+// Option configures the batch engine underlying RunContext.
+//
+// Deprecated: use runner.Option (re-exported as bce.BatchOption).
+type Option = runner.Option
+
+// WithWorkers bounds the engine's worker pool.
+//
+// Deprecated: use runner.WithWorkers.
+var WithWorkers = runner.WithWorkers
+
+// WithProgress installs a live batch-progress callback.
+//
+// Deprecated: use runner.WithProgress.
+var WithProgress = runner.WithProgress
