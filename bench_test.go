@@ -55,6 +55,13 @@ func BenchmarkEmulationDay(b *testing.B) { perf.BenchEmulationDay(b) }
 // BenchmarkRRSim/jobheavy (which isolates one simulation pass).
 func BenchmarkRRSimJobHeavyFleet(b *testing.B) { perf.BenchJobHeavyFleet(b) }
 
+// Job-service (internal/serve) wrappers: cache-hit cost, in-process
+// async ticket round-trip, and HTTP submit→poll cycles through the
+// load generator.
+func BenchmarkServeCacheHit(b *testing.B)   { perf.BenchServeCacheHit(b) }
+func BenchmarkServeSubmitPoll(b *testing.B) { perf.BenchServeSubmitPoll(b) }
+func BenchmarkServeLoadgen(b *testing.B)    { perf.BenchServeLoadgen(b) }
+
 // BenchmarkRunBatch measures the parallel execution engine on a fixed
 // 16-run workload (one emulated day each) across worker counts. On a
 // multi-core machine the runs/sec metric should scale until the worker

@@ -7,6 +7,7 @@
 //	bcectl sweep   scenario.json           sweep a scenario parameter
 //	bcectl study -n 1000                   streaming Monte-Carlo population study
 //	bcectl bench run|compare|gate          performance ledger (internal/perf)
+//	bcectl loadgen -url http://host:8080   load-test a running bceweb
 //
 // Figure output is a table plus an ASCII chart; -csv writes the series
 // as CSV to a file.
@@ -112,6 +113,8 @@ func main() {
 		err = runStudy(ctx, flag.Args()[1:], *progress, rep, opts)
 	case "bench":
 		err = runBench(flag.Args()[1:])
+	case "loadgen":
+		err = runLoadgen(ctx, flag.Args()[1:])
 	default:
 		usage()
 		stopProfile()
@@ -168,6 +171,9 @@ func usage() {
                                    run the perf suite into a BENCH_*.json
                                    ledger, diff ledgers, or gate against
                                    the baseline (bench -h for flags)
+  bcectl loadgen [loadgen flags]   drive a running bceweb with submit→poll
+                                   cycles; report p50/p99 latency and
+                                   throughput (loadgen -h for flags)
 
 flags:
 `)

@@ -52,10 +52,10 @@ func FigureSuite() []Bench {
 
 // AllSuite returns every declared benchmark, hot paths first.
 func AllSuite() []Bench {
-	return append(HotSuite(), FigureSuite()...)
+	return append(append(HotSuite(), FigureSuite()...), ServeSuite()...)
 }
 
-// Select resolves a suite spec: "hot", "figures", "all", or a
+// Select resolves a suite spec: "hot", "figures", "serve", "all", or a
 // comma-separated list of benchmark names from AllSuite.
 func Select(spec string) ([]Bench, error) {
 	switch spec {
@@ -63,6 +63,8 @@ func Select(spec string) ([]Bench, error) {
 		return HotSuite(), nil
 	case "figures":
 		return FigureSuite(), nil
+	case "serve":
+		return ServeSuite(), nil
 	case "all":
 		return AllSuite(), nil
 	}

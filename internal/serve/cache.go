@@ -1,0 +1,50 @@
+package serve
+
+import "container/list"
+
+// lru is a fixed-capacity least-recently-used cache from fingerprint
+// to *Outcome. It is not safe for concurrent use; the Service guards
+// it with its mutex.
+type lru struct {
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type lruEntry struct {
+	key string
+	out *Outcome
+}
+
+func newLRU(capacity int) *lru {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &lru{cap: capacity, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+func (c *lru) get(key string) (*Outcome, bool) {
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).out, true
+}
+
+func (c *lru) put(key string, out *Outcome) {
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*lruEntry).out = out
+		return
+	}
+	c.items[key] = c.ll.PushFront(&lruEntry{key: key, out: out})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry).key)
+	}
+}
+
+// len reports the number of cached outcomes.
+func (c *lru) len() int { return c.ll.Len() }

@@ -1,0 +1,54 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"bce/internal/scenario"
+)
+
+// fingerprintDoc is the canonical form a request is hashed through.
+// Canonicalization happens by construction: the upload is parsed into
+// the typed scenario.Scenario and re-marshalled here, so whitespace,
+// key order, number spelling ("1e1" vs "10"), and ignored XML detail
+// all collapse to one byte string — encoding/json writes struct fields
+// in declaration order and round-trips float64 exactly. Two uploads
+// that build the same scenario therefore share a fingerprint, and the
+// determinism contract (DESIGN.md §10) guarantees they share a result.
+type fingerprintDoc struct {
+	V    int  `json:"v"` // fingerprint schema; bump to invalidate all cached results
+	Kind Kind `json:"kind"`
+
+	Scenario *scenario.Scenario `json:"scenario,omitempty"`
+
+	StudyScenarios int     `json:"study_scenarios,omitempty"`
+	StudyDays      float64 `json:"study_days,omitempty"`
+	StudySeed      int64   `json:"study_seed,omitempty"`
+}
+
+// fingerprintVersion invalidates every cached result when the meaning
+// of a fingerprint changes (e.g. a new field starts affecting runs).
+const fingerprintVersion = 1
+
+// Fingerprint returns the content address of a request: the SHA-256 of
+// its canonical JSON form, hex-encoded. Equal fingerprints mean
+// identical emulation inputs, hence (by determinism) identical
+// results.
+func Fingerprint(req Request) (string, error) {
+	doc := fingerprintDoc{
+		V:              fingerprintVersion,
+		Kind:           req.Kind,
+		Scenario:       req.Scenario,
+		StudyScenarios: req.StudyScenarios,
+		StudyDays:      req.StudyDays,
+		StudySeed:      req.StudySeed,
+	}
+	data, err := json.Marshal(doc)
+	if err != nil {
+		return "", fmt.Errorf("serve: fingerprinting request: %w", err)
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:]), nil
+}

@@ -1,0 +1,680 @@
+// Package serve is the emulator's async job-submission service — the
+// layer that turns the one-shot web frontend into a traffic-bearing
+// system (ROADMAP item 2). It is shaped like the BOINC server
+// machinery the paper's platform descends from: volunteer-facing
+// services survive load not by spawning unbounded work per request but
+// by queueing submissions behind a bounded worker pool and shedding
+// load explicitly when the queue is full.
+//
+// The pieces:
+//
+//   - a bounded job queue: Submit returns a ticket immediately (or
+//     ErrQueueFull, which HTTP layers map to 429 + Retry-After), and a
+//     fixed worker pool sized off runner.Options drains it;
+//   - a content-addressed result cache: an emulation is a pure
+//     function of (scenario fingerprint, seed, policies, days) by the
+//     determinism contract (DESIGN.md §10), so identical submissions
+//     are served from the cache without re-emulating, with LRU
+//     eviction bounding memory;
+//   - in-flight deduplication: a submission identical to a queued or
+//     running job returns that job's ticket instead of a new slot;
+//   - progress events: every job publishes state transitions (and,
+//     for studies, scenario counts) to watchers, which the web layer
+//     streams out as server-sent events;
+//   - a synchronous fast-path (Do) for tiny requests: cache-aware and
+//     bounded by its own worker-sized semaphore, so small interactive
+//     submissions keep their single-roundtrip UX without bypassing
+//     load control.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"bce/internal/client"
+	"bce/internal/population"
+	"bce/internal/runner"
+	"bce/internal/scenario"
+)
+
+// Errors the HTTP layer maps to response codes.
+var (
+	// ErrQueueFull is load-shedding: the bounded queue has no room.
+	// HTTP layers respond 429 with a Retry-After estimate.
+	ErrQueueFull = errors.New("serve: job queue full")
+	// ErrBusy is the synchronous fast-path's shed: every sync slot is
+	// occupied. Same 429 mapping as ErrQueueFull.
+	ErrBusy = errors.New("serve: all workers busy")
+	// ErrNotStarted is returned by Submit before Start has launched
+	// the worker pool: an enqueued job would never run.
+	ErrNotStarted = errors.New("serve: service not started")
+	// ErrUnknownJob is returned for ticket IDs the service has no
+	// record of (never issued, or evicted).
+	ErrUnknownJob = errors.New("serve: unknown job")
+)
+
+// State is a job's lifecycle state.
+type State string
+
+const (
+	StateQueued  State = "queued"
+	StateRunning State = "running"
+	StateDone    State = "done"
+	StateFailed  State = "failed"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool { return s == StateDone || s == StateFailed }
+
+// Kind selects what a job computes.
+type Kind string
+
+const (
+	KindRun   Kind = "run"   // one emulation of one scenario
+	KindStudy Kind = "study" // a streaming population study
+)
+
+// Request describes one unit of work. Exactly the fields that the
+// fingerprint canonicalizes determine the result, so two Requests with
+// equal fingerprints are interchangeable.
+type Request struct {
+	Kind Kind
+
+	// Scenario is the full emulator input for KindRun (it carries the
+	// scenario JSON, seed, policies, and duration — everything the
+	// result is a function of).
+	Scenario *scenario.Scenario
+
+	// Study parameters for KindStudy.
+	StudyScenarios int
+	StudyDays      float64
+	StudySeed      int64
+}
+
+// Validate checks the request is runnable before it takes a queue slot.
+func (r Request) Validate() error {
+	switch r.Kind {
+	case KindRun:
+		if r.Scenario == nil {
+			return fmt.Errorf("serve: run request without a scenario")
+		}
+		if _, err := r.Scenario.Config(); err != nil {
+			return err
+		}
+	case KindStudy:
+		if r.StudyScenarios <= 0 {
+			return fmt.Errorf("serve: study request with %d scenarios", r.StudyScenarios)
+		}
+		if r.StudyDays <= 0 {
+			return fmt.Errorf("serve: study request with nonpositive days")
+		}
+	default:
+		return fmt.Errorf("serve: unknown job kind %q", r.Kind)
+	}
+	return nil
+}
+
+// Outcome is a finished job's payload — everything the rendering layer
+// needs, retained in the result cache under the request fingerprint.
+type Outcome struct {
+	Fingerprint string
+	Kind        Kind
+
+	// KindRun payload.
+	Scenario *scenario.Scenario
+	Result   *client.Result
+	Log      string // message log, capped at maxLogBytes
+	LogCap   bool   // true when the log exceeded the cap and was cut
+
+	// KindStudy payload.
+	Study *population.Study
+}
+
+// Event is one progress notification streamed to a job's watchers.
+type Event struct {
+	State State  `json:"state"`
+	Err   string `json:"err,omitempty"`
+	// Done/Total report study progress (scenarios folded); zero for
+	// single runs, whose only transitions are the state changes.
+	Done  int `json:"done,omitempty"`
+	Total int `json:"total,omitempty"`
+	// CacheHit marks jobs satisfied from the result cache.
+	CacheHit bool `json:"cache_hit,omitempty"`
+}
+
+// JobView is a snapshot of a job, safe to serialize.
+type JobView struct {
+	ID       string `json:"id"`
+	Kind     Kind   `json:"kind"`
+	State    State  `json:"state"`
+	CacheHit bool   `json:"cache_hit,omitempty"`
+	Err      string `json:"err,omitempty"`
+	Done     int    `json:"done,omitempty"`
+	Total    int    `json:"total,omitempty"`
+	// QueuePos is the number of jobs ahead at snapshot time (1-based
+	// position minus one); meaningful only while queued.
+	QueuePos int `json:"queue_pos,omitempty"`
+}
+
+// job is the service-internal record.
+type job struct {
+	id       string
+	fp       string
+	req      Request
+	state    State
+	err      string
+	cacheHit bool
+	done     int // study progress
+	total    int
+	outcome  *Outcome
+	watchers []chan Event
+	seq      int // admission order, for queue-position estimates
+}
+
+// Config sizes the service. The zero value selects all defaults.
+type Config struct {
+	// Batch sizes the worker pool: the pool has
+	// runner.Resolve(runner.WithOptions(Batch)).Workers workers, i.e.
+	// Batch.Workers or GOMAXPROCS. Progress/FailFast are unused here.
+	Batch runner.Options
+	// QueueCap bounds the number of queued (not yet running) jobs;
+	// beyond it Submit sheds with ErrQueueFull. Default 64.
+	QueueCap int
+	// CacheEntries bounds the LRU result cache. Default 128.
+	CacheEntries int
+	// MaxJobs bounds retained job records (tickets stay resolvable
+	// until evicted oldest-first). Default 1024.
+	MaxJobs int
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueCap <= 0 {
+		c.QueueCap = 64
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 128
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 1024
+	}
+	return c
+}
+
+// Stats are the service's monotonic counters plus a queue snapshot.
+type Stats struct {
+	Runs      int // emulations/studies actually executed (cache misses)
+	CacheHits int // submissions served from the result cache
+	Shed      int // submissions rejected with ErrQueueFull/ErrBusy
+	Queued    int // jobs waiting right now
+	Running   int // jobs executing right now
+}
+
+// Service is the async job-submission engine. Construct with New,
+// launch the worker pool with Start; Submit/Job/Outcome/Watch are safe
+// for concurrent use.
+type Service struct {
+	// RunTimeout caps the wall-clock time of one queued emulation or
+	// study (0 = no cap). Read at execution time, so it may be set any
+	// time before Start.
+	RunTimeout time.Duration
+
+	cfg     Config
+	workers int
+
+	mu      sync.Mutex
+	jobs    map[string]*job
+	order   []string        // job IDs in admission order, for MaxJobs eviction
+	byFP    map[string]*job // live (queued/running) jobs for dedup
+	cache   *lru
+	queue   chan *job
+	started bool
+	nextSeq int
+	stats   Stats
+	// emaRunSecs is an exponential moving average of recent execution
+	// wall times, the basis of RetryAfter estimates.
+	emaRunSecs float64
+
+	syncSlots chan struct{} // fast-path semaphore, sized like the pool
+	wg        sync.WaitGroup
+}
+
+// New builds a stopped service. Call Start to launch the worker pool;
+// the synchronous fast-path (Do) works without Start.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	workers := runner.Resolve(runner.WithOptions(cfg.Batch)).Workers
+	if workers < 1 {
+		workers = 1
+	}
+	return &Service{
+		cfg:       cfg,
+		workers:   workers,
+		jobs:      make(map[string]*job),
+		byFP:      make(map[string]*job),
+		cache:     newLRU(cfg.CacheEntries),
+		queue:     make(chan *job, cfg.QueueCap),
+		syncSlots: make(chan struct{}, workers),
+	}
+}
+
+// Workers reports the worker-pool size.
+func (s *Service) Workers() int { return s.workers }
+
+// QueueCap reports the queue capacity.
+func (s *Service) QueueCap() int { return s.cfg.QueueCap }
+
+// Start launches the worker pool under ctx: cancelling ctx stops the
+// workers (in-flight emulations stop at the next event-batch
+// boundary). Start is idempotent; Wait blocks until the pool exits.
+func (s *Service) Start(ctx context.Context) {
+	s.mu.Lock()
+	if s.started {
+		s.mu.Unlock()
+		return
+	}
+	s.started = true
+	s.mu.Unlock()
+	for i := 0; i < s.workers; i++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.worker(ctx)
+		}()
+	}
+}
+
+// Started reports whether the worker pool is running.
+func (s *Service) Started() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.started
+}
+
+// Wait blocks until the worker pool has exited (after the Start
+// context is cancelled).
+func (s *Service) Wait() { s.wg.Wait() }
+
+// Stats returns a snapshot of the service counters.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Queued = len(s.queue)
+	return st
+}
+
+// RetryAfter estimates how long a shed client should wait before
+// resubmitting: the queue's expected drain time through the pool,
+// floored at one second.
+func (s *Service) RetryAfter() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ema := s.emaRunSecs
+	if ema <= 0 {
+		ema = 1
+	}
+	backlog := len(s.queue) + s.stats.Running + 1
+	secs := ema * float64(backlog) / float64(s.workers)
+	if secs < 1 {
+		secs = 1
+	}
+	return time.Duration(math.Ceil(secs)) * time.Second
+}
+
+// Submit enqueues a request and returns its ticket. A submission whose
+// fingerprint matches a live job returns that job's ticket; one whose
+// result is cached returns an already-done ticket without taking a
+// queue slot; a full queue sheds with ErrQueueFull.
+func (s *Service) Submit(req Request) (JobView, error) {
+	if err := req.Validate(); err != nil {
+		return JobView{}, err
+	}
+	fp, err := Fingerprint(req)
+	if err != nil {
+		return JobView{}, err
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if live, ok := s.byFP[fp]; ok {
+		return s.viewLocked(live), nil
+	}
+	if out, ok := s.cache.get(fp); ok {
+		j := s.newJobLocked(req, fp)
+		j.state = StateDone
+		j.cacheHit = true
+		j.outcome = out
+		s.stats.CacheHits++
+		return s.viewLocked(j), nil
+	}
+	if !s.started {
+		return JobView{}, ErrNotStarted
+	}
+	j := s.newJobLocked(req, fp)
+	select {
+	case s.queue <- j:
+	default:
+		s.dropJobLocked(j)
+		s.stats.Shed++
+		return JobView{}, ErrQueueFull
+	}
+	s.byFP[fp] = j
+	return s.viewLocked(j), nil
+}
+
+// Do is the synchronous fast-path: serve from the cache, or execute
+// the request inline under ctx. It is bounded by a worker-sized
+// semaphore; when every sync slot is taken it sheds with ErrBusy
+// instead of queueing, keeping the fast path fast under load. The
+// returned bool reports a cache hit.
+func (s *Service) Do(ctx context.Context, req Request) (*Outcome, bool, error) {
+	if err := req.Validate(); err != nil {
+		return nil, false, err
+	}
+	fp, err := Fingerprint(req)
+	if err != nil {
+		return nil, false, err
+	}
+	s.mu.Lock()
+	if out, ok := s.cache.get(fp); ok {
+		s.stats.CacheHits++
+		s.mu.Unlock()
+		return out, true, nil
+	}
+	s.mu.Unlock()
+
+	select {
+	case s.syncSlots <- struct{}{}:
+	default:
+		s.mu.Lock()
+		s.stats.Shed++
+		s.mu.Unlock()
+		return nil, false, ErrBusy
+	}
+	defer func() { <-s.syncSlots }()
+
+	out, err := s.execute(ctx, req, fp, nil)
+	if err != nil {
+		return nil, false, err
+	}
+	return out, false, nil
+}
+
+// Job returns a snapshot of the ticket's job.
+func (s *Service) Job(id string) (JobView, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobView{}, fmt.Errorf("%w: %s", ErrUnknownJob, id)
+	}
+	return s.viewLocked(j), nil
+}
+
+// Outcome returns a finished job's payload. The bool is false while
+// the job is still queued or running; failed jobs return an error.
+func (s *Service) Outcome(id string) (*Outcome, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, false, fmt.Errorf("%w: %s", ErrUnknownJob, id)
+	}
+	switch j.state {
+	case StateDone:
+		return j.outcome, true, nil
+	case StateFailed:
+		return nil, true, errors.New(j.err)
+	default:
+		return nil, false, nil
+	}
+}
+
+// Watch subscribes to a job's progress events. The channel carries the
+// job's current state immediately, then every transition, and is
+// closed once the job reaches a terminal state. The returned cancel
+// func detaches the watcher (safe to call after close).
+func (s *Service) Watch(id string) (<-chan Event, func(), error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: %s", ErrUnknownJob, id)
+	}
+	ch := make(chan Event, 16)
+	ch <- s.eventLocked(j)
+	if j.state.Terminal() {
+		close(ch)
+		return ch, func() {}, nil
+	}
+	j.watchers = append(j.watchers, ch)
+	cancel := func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		for i, w := range j.watchers {
+			if w == ch {
+				j.watchers = append(j.watchers[:i], j.watchers[i+1:]...)
+				return
+			}
+		}
+	}
+	return ch, cancel, nil
+}
+
+// --- internals ---
+
+func (s *Service) newJobLocked(req Request, fp string) *job {
+	s.nextSeq++
+	j := &job{
+		// Tickets are sequence + fingerprint prefix: self-describing
+		// in logs, no randomness needed (the service is not an
+		// authentication boundary; results are content-addressed).
+		id:    fmt.Sprintf("j%d-%.8s", s.nextSeq, fp),
+		fp:    fp,
+		req:   req,
+		state: StateQueued,
+		seq:   s.nextSeq,
+	}
+	if req.Kind == KindStudy {
+		j.total = req.StudyScenarios
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	// Evict oldest terminal records past the cap; live jobs are never
+	// evicted (the queue bound keeps their count small).
+	for len(s.jobs) > s.cfg.MaxJobs {
+		evicted := false
+		for i, id := range s.order {
+			if old, ok := s.jobs[id]; ok && old.state.Terminal() {
+				delete(s.jobs, id)
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			break
+		}
+	}
+	return j
+}
+
+func (s *Service) dropJobLocked(j *job) {
+	delete(s.jobs, j.id)
+	if n := len(s.order); n > 0 && s.order[n-1] == j.id {
+		s.order = s.order[:n-1]
+	}
+}
+
+func (s *Service) viewLocked(j *job) JobView {
+	v := JobView{
+		ID:       j.id,
+		Kind:     j.req.Kind,
+		State:    j.state,
+		CacheHit: j.cacheHit,
+		Err:      j.err,
+		Done:     j.done,
+		Total:    j.total,
+	}
+	if j.state == StateQueued {
+		for _, other := range s.byFP {
+			if other.state == StateQueued && other.seq < j.seq {
+				v.QueuePos++
+			}
+		}
+	}
+	return v
+}
+
+func (s *Service) eventLocked(j *job) Event {
+	return Event{State: j.state, Err: j.err, Done: j.done, Total: j.total, CacheHit: j.cacheHit}
+}
+
+// notifyLocked publishes the job's current state to every watcher.
+// Slow watchers lose intermediate events (non-blocking send) but never
+// the terminal one: the channel close itself signals termination.
+func (s *Service) notifyLocked(j *job) {
+	ev := s.eventLocked(j)
+	for _, w := range j.watchers {
+		select {
+		case w <- ev:
+		default:
+		}
+	}
+	if j.state.Terminal() {
+		for _, w := range j.watchers {
+			close(w)
+		}
+		j.watchers = nil
+	}
+}
+
+func (s *Service) worker(ctx context.Context) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case j := <-s.queue:
+			s.runJob(ctx, j)
+		}
+	}
+}
+
+func (s *Service) runJob(ctx context.Context, j *job) {
+	s.mu.Lock()
+	j.state = StateRunning
+	s.stats.Running++
+	s.notifyLocked(j)
+	s.mu.Unlock()
+
+	onProgress := func(done, total int) {
+		s.mu.Lock()
+		j.done, j.total = done, total
+		s.notifyLocked(j)
+		s.mu.Unlock()
+	}
+	out, err := s.execute(ctx, j.req, j.fp, onProgress)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Running--
+	delete(s.byFP, j.fp)
+	if err != nil {
+		j.state = StateFailed
+		j.err = err.Error()
+	} else {
+		j.state = StateDone
+		j.outcome = out
+	}
+	s.notifyLocked(j)
+}
+
+// maxLogBytes caps the retained message log of one run; the cap exists
+// so the LRU's entry-count bound also bounds memory.
+const maxLogBytes = 2 << 20
+
+// execute runs the request under ctx (plus RunTimeout, if set), stores
+// the outcome in the cache, and bumps the run counter and duration
+// estimate. It is the single choke point both the queue workers and
+// the sync fast-path go through, so "Runs" counts real emulations
+// exactly.
+func (s *Service) execute(ctx context.Context, req Request, fp string, onProgress func(done, total int)) (*Outcome, error) {
+	if s.RunTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.RunTimeout)
+		defer cancel()
+	}
+	start := time.Now() //bce:wallclock run-duration EMA feeds real-time Retry-After estimates
+	out := &Outcome{Fingerprint: fp, Kind: req.Kind}
+	switch req.Kind {
+	case KindRun:
+		cfg, err := req.Scenario.Config()
+		if err != nil {
+			return nil, err
+		}
+		lw := &capWriter{limit: maxLogBytes}
+		cfg.RecordTimeline = true
+		cfg.Log = lw
+		res, err := runner.Run(ctx, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out.Scenario = req.Scenario
+		out.Result = res
+		out.Log = lw.String()
+		out.LogCap = lw.truncated
+	case KindStudy:
+		st, err := population.Run(ctx, population.Params{
+			Scenarios:  req.StudyScenarios,
+			Seed:       req.StudySeed,
+			Population: scenario.PopulationParams{DurationDays: req.StudyDays},
+			Progress:   onProgress,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out.Study = st
+	default:
+		return nil, fmt.Errorf("serve: unknown job kind %q", req.Kind)
+	}
+	elapsed := time.Since(start).Seconds() //bce:wallclock see above
+
+	s.mu.Lock()
+	s.stats.Runs++
+	if s.emaRunSecs == 0 {
+		s.emaRunSecs = elapsed
+	} else {
+		s.emaRunSecs = 0.7*s.emaRunSecs + 0.3*elapsed
+	}
+	s.cache.put(fp, out)
+	s.mu.Unlock()
+	return out, nil
+}
+
+// capWriter retains the first limit bytes written and records whether
+// anything was dropped.
+type capWriter struct {
+	buf       []byte
+	limit     int
+	truncated bool
+}
+
+func (w *capWriter) Write(p []byte) (int, error) {
+	if room := w.limit - len(w.buf); room > 0 {
+		if len(p) <= room {
+			w.buf = append(w.buf, p...)
+		} else {
+			w.buf = append(w.buf, p[:room]...)
+			w.truncated = true
+		}
+	} else if len(p) > 0 {
+		w.truncated = true
+	}
+	return len(p), nil
+}
+
+func (w *capWriter) String() string { return string(w.buf) }

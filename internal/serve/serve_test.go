@@ -1,0 +1,287 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"bce/internal/runner"
+	"bce/internal/scenario"
+)
+
+func tinyScenario(seed int64) *scenario.Scenario {
+	s := DefaultLoadgenScenario(0.02)
+	s.Seed = seed
+	return s
+}
+
+func runRequest(seed int64) Request {
+	return Request{Kind: KindRun, Scenario: tinyScenario(seed)}
+}
+
+func TestFingerprintStableAndDiscriminating(t *testing.T) {
+	a, err := Fingerprint(runRequest(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fingerprint(runRequest(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("identical requests fingerprint differently: %s vs %s", a, b)
+	}
+	if len(a) != 64 {
+		t.Fatalf("fingerprint %q is not a hex SHA-256", a)
+	}
+	c, _ := Fingerprint(runRequest(2))
+	if a == c {
+		t.Fatal("different seeds share a fingerprint")
+	}
+	// A study request never collides with a run request.
+	d, _ := Fingerprint(Request{Kind: KindStudy, StudyScenarios: 3, StudyDays: 0.1, StudySeed: 1})
+	if d == a {
+		t.Fatal("study and run requests share a fingerprint")
+	}
+}
+
+// Two textually different uploads that parse to the same scenario must
+// share a fingerprint: canonicalization happens by re-marshalling the
+// typed struct, not by hashing upload bytes.
+func TestFingerprintCanonicalizes(t *testing.T) {
+	j1 := `{"name":"x","duration_days":10,"seed":1,` +
+		`"host":{"ncpu":1,"cpu_gflops":1,"min_queue_hours":0.5,"max_queue_hours":1},` +
+		`"projects":[{"name":"p","share":100,"apps":[{"name":"a","ncpus":1,"mean_secs":600,"latency_secs":86400}]}]}`
+	// Same content: different key order, number spelling, whitespace.
+	j2 := `{ "seed": 1, "duration_days": 1e1, "name": "x",` +
+		`"projects":[{"apps":[{"latency_secs":86400,"name":"a","ncpus":1,"mean_secs":600}],"share":100.0,"name":"p"}],` +
+		`"host":{"max_queue_hours":1,"ncpu":1,"cpu_gflops":1,"min_queue_hours":0.5} }`
+	s1, err := scenario.Load(strings.NewReader(j1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := scenario.Load(strings.NewReader(j2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1, _ := Fingerprint(Request{Kind: KindRun, Scenario: s1})
+	f2, _ := Fingerprint(Request{Kind: KindRun, Scenario: s2})
+	if f1 != f2 {
+		t.Fatalf("equivalent uploads fingerprint differently:\n%s\n%s", f1, f2)
+	}
+}
+
+func TestLRUEvictsOldest(t *testing.T) {
+	c := newLRU(2)
+	c.put("a", &Outcome{Fingerprint: "a"})
+	c.put("b", &Outcome{Fingerprint: "b"})
+	if _, ok := c.get("a"); !ok { // touch a: b becomes the LRU entry
+		t.Fatal("a missing before capacity reached")
+	}
+	c.put("c", &Outcome{Fingerprint: "c"})
+	if _, ok := c.get("b"); ok {
+		t.Fatal("least-recently-used entry b survived eviction")
+	}
+	for _, k := range []string{"a", "c"} {
+		if _, ok := c.get(k); !ok {
+			t.Fatalf("entry %s evicted wrongly", k)
+		}
+	}
+	if c.len() != 2 {
+		t.Fatalf("len = %d, want 2", c.len())
+	}
+}
+
+// Do must execute once and then serve the identical request from the
+// cache, as counted by the Runs statistic.
+func TestDoCachesByContent(t *testing.T) {
+	s := New(Config{Batch: runner.Options{Workers: 2}})
+	out1, hit1, err := s.Do(context.Background(), runRequest(1)) //bce:ctxshim test
+	if err != nil || hit1 {
+		t.Fatalf("first Do: hit=%v err=%v", hit1, err)
+	}
+	out2, hit2, err := s.Do(context.Background(), runRequest(1)) //bce:ctxshim test
+	if err != nil || !hit2 {
+		t.Fatalf("second Do: hit=%v err=%v, want cache hit", hit2, err)
+	}
+	if out1 != out2 {
+		t.Fatal("cache returned a different outcome object")
+	}
+	st := s.Stats()
+	if st.Runs != 1 || st.CacheHits != 1 {
+		t.Fatalf("stats = %+v, want 1 run / 1 hit", st)
+	}
+	// A different seed is a different content address.
+	_, hit3, err := s.Do(context.Background(), runRequest(2)) //bce:ctxshim test
+	if err != nil || hit3 {
+		t.Fatalf("different request: hit=%v err=%v, want miss", hit3, err)
+	}
+	if s.Stats().Runs != 2 {
+		t.Fatalf("Runs = %d, want 2", s.Stats().Runs)
+	}
+}
+
+func TestSubmitRequiresStart(t *testing.T) {
+	s := New(Config{})
+	if _, err := s.Submit(runRequest(1)); !errors.Is(err, ErrNotStarted) {
+		t.Fatalf("Submit before Start: %v, want ErrNotStarted", err)
+	}
+}
+
+func TestSubmitPollOutcome(t *testing.T) {
+	s := New(Config{Batch: runner.Options{Workers: 2}})
+	ctx, cancel := context.WithCancel(context.Background()) //bce:ctxshim test
+	defer cancel()
+	s.Start(ctx)
+	v, err := s.Submit(runRequest(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.ID == "" || v.State.Terminal() {
+		t.Fatalf("ticket = %+v", v)
+	}
+	waitDone(t, s, v.ID)
+	out, finished, err := s.Outcome(v.ID)
+	if err != nil || !finished || out == nil || out.Result == nil {
+		t.Fatalf("outcome: finished=%v err=%v out=%v", finished, err, out)
+	}
+	if out.Log == "" {
+		t.Fatal("run produced no message log")
+	}
+	if s.Stats().Runs != 1 {
+		t.Fatalf("Runs = %d, want 1", s.Stats().Runs)
+	}
+}
+
+// A submission identical to a live job must return the same ticket
+// instead of a second queue slot.
+func TestSubmitDedupsLiveJobs(t *testing.T) {
+	s := New(Config{Batch: runner.Options{Workers: 1}})
+	// Not started: enqueue manually by starting with a blocked worker.
+	ctx, cancel := context.WithCancel(context.Background()) //bce:ctxshim test
+	defer cancel()
+	s.Start(ctx)
+	// A long-ish run keeps the job live while we resubmit.
+	scn := tinyScenario(4)
+	scn.DurationDays = 0.5
+	req := Request{Kind: KindRun, Scenario: scn}
+	v1, err := s.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := s.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1.ID != v2.ID {
+		t.Fatalf("identical live submissions got tickets %s and %s", v1.ID, v2.ID)
+	}
+	waitDone(t, s, v1.ID)
+}
+
+func TestQueueFullSheds(t *testing.T) {
+	s := New(Config{Batch: runner.Options{Workers: 1}, QueueCap: 1})
+	ctx, cancel := context.WithCancel(context.Background()) //bce:ctxshim test
+	defer cancel()
+	s.Start(ctx)
+	// Occupy the single worker and the single queue slot, then overflow.
+	var tickets []JobView
+	shed := 0
+	for i := int64(10); i < 20; i++ {
+		v, err := s.Submit(runRequest(i))
+		if errors.Is(err, ErrQueueFull) {
+			shed++
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		tickets = append(tickets, v)
+	}
+	if shed == 0 {
+		t.Fatal("queue of capacity 1 absorbed 10 submissions without shedding")
+	}
+	if s.Stats().Shed != shed {
+		t.Fatalf("Shed stat = %d, want %d", s.Stats().Shed, shed)
+	}
+	if ra := s.RetryAfter(); ra < time.Second {
+		t.Fatalf("RetryAfter = %v, want >= 1s", ra)
+	}
+	for _, v := range tickets {
+		waitDone(t, s, v.ID)
+	}
+}
+
+func TestWatchSeesTerminalState(t *testing.T) {
+	s := New(Config{Batch: runner.Options{Workers: 1}})
+	ctx, cancel := context.WithCancel(context.Background()) //bce:ctxshim test
+	defer cancel()
+	s.Start(ctx)
+	v, err := s.Submit(Request{Kind: KindStudy, StudyScenarios: 2, StudyDays: 0.02, StudySeed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, cancelW, err := s.Watch(v.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancelW()
+	var last Event
+	deadline := time.After(60 * time.Second) //bce:wallclock test timeout
+	for {
+		select {
+		case ev, open := <-ch:
+			if !open {
+				if !last.State.Terminal() {
+					t.Fatalf("watch closed at non-terminal state %+v", last)
+				}
+				if last.State != StateDone {
+					t.Fatalf("study ended %+v", last)
+				}
+				return
+			}
+			last = ev
+		case <-deadline:
+			t.Fatalf("no terminal event; last %+v", last)
+		}
+	}
+}
+
+func TestCapWriter(t *testing.T) {
+	w := &capWriter{limit: 10}
+	n, _ := w.Write([]byte("0123456789ABCDEF"))
+	if n != 16 { // reports full write so the logger never errors
+		t.Fatalf("n = %d, want 16", n)
+	}
+	if w.String() != "0123456789" || !w.truncated {
+		t.Fatalf("buf = %q truncated=%v", w.String(), w.truncated)
+	}
+	w2 := &capWriter{limit: 10}
+	w2.Write([]byte("short")) //bce:errok capWriter never errors
+	if w2.truncated {
+		t.Fatal("under-limit write marked truncated")
+	}
+}
+
+func waitDone(t *testing.T, s *Service, id string) {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second) //bce:wallclock test timeout
+	for {
+		v, err := s.Job(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.State.Terminal() {
+			if v.State != StateDone {
+				t.Fatalf("job %s failed: %s", id, v.Err)
+			}
+			return
+		}
+		if time.Now().After(deadline) { //bce:wallclock test timeout
+			t.Fatalf("job %s stuck in %s", id, v.State)
+		}
+		time.Sleep(5 * time.Millisecond) //bce:wallclock test poll
+	}
+}

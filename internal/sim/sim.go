@@ -13,22 +13,34 @@ import (
 	"bce/internal/invariant"
 )
 
-// Timer is a handle to a scheduled event. It can be cancelled; cancelling
-// a timer that has already fired or been cancelled is a no-op.
+// Timer is a handle to a scheduled event. A handle is in exactly one of
+// three states: pending (scheduled, not yet dispatched), fired (its
+// callback ran), or cancelled (Cancel removed it before it could fire).
+// Cancelling a timer that has already fired or been cancelled is a
+// no-op — in particular it does NOT flip a fired timer to cancelled, so
+// the two terminal states stay distinguishable.
 type Timer struct {
 	at       float64
 	seq      uint64
 	fn       func()
 	index    int // heap index, -1 when popped or cancelled
 	canceled bool
+	fired    bool
 	pooled   bool // no caller holds a handle; recycle after firing
 }
 
 // At returns the absolute simulation time the timer is set for.
 func (t *Timer) At() float64 { return t.at }
 
-// Canceled reports whether Cancel was called on the timer.
+// Canceled reports whether Cancel removed the timer before it fired.
+// A fired timer reports false even if Cancel was called afterwards.
 func (t *Timer) Canceled() bool { return t.canceled }
+
+// Fired reports whether the timer's callback has been dispatched.
+func (t *Timer) Fired() bool { return t.fired }
+
+// Pending reports whether the timer is still scheduled to fire.
+func (t *Timer) Pending() bool { return t.index >= 0 && !t.canceled }
 
 type eventHeap []*Timer
 
@@ -182,12 +194,12 @@ func (s *Simulator) Move(t *Timer, at float64) {
 	heap.Fix(&s.events, t.index)
 }
 
-// Cancel removes a timer so its callback never runs.
+// Cancel removes a pending timer so its callback never runs. Calling
+// it on a fired or already-cancelled timer is a no-op: a fired timer
+// stays Fired() (not Canceled()), so callers can tell "ran, then
+// someone tried to cancel" apart from "never ran".
 func (s *Simulator) Cancel(t *Timer) {
-	if t == nil || t.canceled || t.index < 0 {
-		if t != nil {
-			t.canceled = true
-		}
+	if t == nil || t.canceled || t.fired || t.index < 0 {
 		return
 	}
 	t.canceled = true
@@ -198,15 +210,14 @@ func (s *Simulator) Cancel(t *Timer) {
 // Reschedule moves t's callback to a new absolute time, returning the
 // (possibly identical) timer handle. A still-pending timer is moved in
 // place; a fired or cancelled one gets a fresh timer for the same
-// callback.
+// callback — the two cases are distinguishable via Fired()/Canceled()
+// on the old handle, and neither can double-fire.
 func (s *Simulator) Reschedule(t *Timer, at float64) *Timer {
-	if t.index >= 0 && !t.canceled {
+	if t.Pending() {
 		s.Move(t, at)
 		return t
 	}
-	fn := t.fn
-	s.Cancel(t)
-	return s.At(at, fn)
+	return s.At(at, t.fn)
 }
 
 // Step fires the next event, advancing the clock to its time.
@@ -226,6 +237,7 @@ func (s *Simulator) Step() bool {
 		}
 		s.now = t.at
 		s.nfired++
+		t.fired = true
 		fn := t.fn
 		if t.pooled {
 			// Recycled before firing so a self-rescheduling chain can
@@ -273,6 +285,7 @@ func (s *Simulator) RunUntilN(end float64, max int) int {
 		}
 		s.now = t.at
 		s.nfired++
+		t.fired = true
 		fn := t.fn
 		if t.pooled {
 			s.recycle(t)

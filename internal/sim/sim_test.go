@@ -293,3 +293,86 @@ func TestRunUntilNHonorsHorizon(t *testing.T) {
 		t.Fatalf("Now() = %v, want 10", s.Now())
 	}
 }
+
+// A timer handle is in exactly one of three states — pending, fired,
+// cancelled — and Cancel must not retroactively relabel a fired timer
+// as cancelled.
+func TestTimerHandleStates(t *testing.T) {
+	s := New()
+	tm := s.At(5, func() {})
+	if !tm.Pending() || tm.Fired() || tm.Canceled() {
+		t.Fatalf("fresh timer: pending=%v fired=%v canceled=%v, want pending only",
+			tm.Pending(), tm.Fired(), tm.Canceled())
+	}
+	s.RunUntil(10)
+	if tm.Pending() || !tm.Fired() || tm.Canceled() {
+		t.Fatalf("after firing: pending=%v fired=%v canceled=%v, want fired only",
+			tm.Pending(), tm.Fired(), tm.Canceled())
+	}
+	// Cancelling a fired timer is a no-op, not a state change.
+	s.Cancel(tm)
+	if tm.Canceled() {
+		t.Fatal("Cancel on a fired timer relabelled it as cancelled")
+	}
+	if !tm.Fired() {
+		t.Fatal("Cancel on a fired timer cleared Fired()")
+	}
+}
+
+func TestTimerCancelledState(t *testing.T) {
+	s := New()
+	fired := false
+	tm := s.At(5, func() { fired = true })
+	s.Cancel(tm)
+	if tm.Pending() || tm.Fired() || !tm.Canceled() {
+		t.Fatalf("after Cancel: pending=%v fired=%v canceled=%v, want cancelled only",
+			tm.Pending(), tm.Fired(), tm.Canceled())
+	}
+	// Cancel is idempotent.
+	s.Cancel(tm)
+	if !tm.Canceled() || tm.Fired() {
+		t.Fatal("second Cancel changed state")
+	}
+	s.RunUntil(10)
+	if fired {
+		t.Fatal("cancelled timer fired anyway")
+	}
+	if tm.Fired() {
+		t.Fatal("cancelled timer reports Fired()")
+	}
+}
+
+// Reschedule must work from all three handle states: move a pending
+// timer, revive a fired one, revive a cancelled one.
+func TestTimerRescheduleFromEachState(t *testing.T) {
+	s := New()
+	count := 0
+	fn := func() { count++ }
+
+	pending := s.At(5, fn)
+	pending = s.Reschedule(pending, 7)
+	if !pending.Pending() {
+		t.Fatal("rescheduled pending timer not pending")
+	}
+
+	cancelled := s.At(6, fn)
+	s.Cancel(cancelled)
+	revived := s.Reschedule(cancelled, 8)
+	if !revived.Pending() {
+		t.Fatal("rescheduling a cancelled timer did not yield a pending one")
+	}
+
+	s.RunUntil(10)
+	if count != 2 {
+		t.Fatalf("fired %d timers, want 2 (moved + revived)", count)
+	}
+
+	again := s.Reschedule(pending, 12)
+	if !again.Pending() {
+		t.Fatal("rescheduling a fired timer did not yield a pending one")
+	}
+	s.RunUntil(15)
+	if count != 3 {
+		t.Fatalf("fired %d, want 3 after reviving the fired timer", count)
+	}
+}

@@ -10,6 +10,7 @@ package stats
 
 import (
 	"fmt"
+	"math"
 	"sort"
 )
 
@@ -111,7 +112,10 @@ func (q *P2Quantile) linear(i, s int) float64 {
 }
 
 // Value returns the current quantile estimate. With fewer than five
-// observations it falls back to the exact small-sample quantile.
+// observations it falls back to the exact nearest-rank small-sample
+// quantile: the ceil(p·N)-th smallest observation (the standard
+// nearest-rank definition), not the floor(p·N)+1-th — e.g. p=0.25 over
+// 4 samples is the 1st-smallest, not the 2nd.
 func (q *P2Quantile) Value() float64 {
 	if q.N == 0 {
 		return 0
@@ -120,7 +124,10 @@ func (q *P2Quantile) Value() float64 {
 		h := make([]float64, q.N)
 		copy(h, q.H[:q.N])
 		sort.Float64s(h)
-		i := int(q.P * float64(q.N))
+		i := int(math.Ceil(q.P*float64(q.N))) - 1
+		if i < 0 {
+			i = 0
+		}
 		if i >= q.N {
 			i = q.N - 1
 		}

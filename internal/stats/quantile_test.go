@@ -116,3 +116,43 @@ func TestQuantileSketchUnknownTarget(t *testing.T) {
 		t.Fatalf("tracked quantile: %v, %v", v, err)
 	}
 }
+
+// Small-sample Value must follow the standard nearest-rank definition:
+// the ceil(p·N)-th smallest observation. The old int(p*N) floor indexed
+// one element low (e.g. the p90 of two samples returned the smaller).
+func TestP2QuantileSmallSampleNearestRank(t *testing.T) {
+	cases := []struct {
+		p    float64
+		obs  []float64
+		want float64
+	}{
+		// N=1: every quantile is the single observation.
+		{0.1, []float64{7}, 7},
+		{0.5, []float64{7}, 7},
+		{0.99, []float64{7}, 7},
+		// N=2: ceil(0.5·2)=1st for the median, 2nd for p90/p99.
+		{0.5, []float64{10, 20}, 10},
+		{0.9, []float64{10, 20}, 20},
+		{0.99, []float64{10, 20}, 20},
+		{0.25, []float64{10, 20}, 10},
+		// N=3: median is the 2nd smallest, p90/p99 the 3rd.
+		{0.5, []float64{1, 5, 9}, 5},
+		{0.9, []float64{1, 5, 9}, 9},
+		{0.1, []float64{1, 5, 9}, 1},
+		// N=4: ceil(0.5·4)=2nd, ceil(0.9·4)=4th, ceil(0.25·4)=1st.
+		{0.5, []float64{2, 4, 6, 8}, 4},
+		{0.9, []float64{2, 4, 6, 8}, 8},
+		{0.25, []float64{2, 4, 6, 8}, 2},
+		{0.75, []float64{2, 4, 6, 8}, 6},
+	}
+	for _, c := range cases {
+		q := NewP2Quantile(c.p)
+		// Insert in reverse to exercise the sorted-insert path too.
+		for i := len(c.obs) - 1; i >= 0; i-- {
+			q.Add(c.obs[i])
+		}
+		if got := q.Value(); got != c.want {
+			t.Errorf("p%g of %v = %g, want %g", c.p*100, c.obs, got, c.want)
+		}
+	}
+}

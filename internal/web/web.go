@@ -5,10 +5,16 @@
 // timeline — the workflow alpha testers used to hand reproducible
 // scheduling problems to the BOINC developers. Uploads are kept on the
 // server (paper: "the input files are saved on the server").
+//
+// Requests flow through the async job-submission service
+// (internal/serve): tiny submissions keep the classic one-roundtrip UX
+// on a cache-aware synchronous fast-path, larger ones get a ticket and
+// a /jobs/{id} progress page (poll, SSE, result fetch), and when the
+// bounded queue is full the server sheds load with 429 + Retry-After
+// instead of melting.
 package web
 
 import (
-	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -23,12 +29,13 @@ import (
 
 	"bce/internal/metrics"
 	"bce/internal/population"
-	"bce/internal/runner"
 	"bce/internal/scenario"
+	"bce/internal/serve"
 )
 
 // Server is the BCE web frontend. SaveDir, when nonempty, receives a
-// copy of every uploaded scenario.
+// copy of every uploaded scenario — including ones that fail to parse,
+// which are exactly the uploads worth debugging.
 type Server struct {
 	SaveDir string
 	MaxDays float64 // cap on emulation length (default 30)
@@ -39,8 +46,17 @@ type Server struct {
 	// 0 means no server-side cap (the request context still applies).
 	RunTimeout time.Duration
 
+	// SyncDays is the synchronous fast-path threshold: /run
+	// submissions at or under this many emulated days (and /study
+	// submissions under SyncScenarioDays scenario-days) complete in
+	// the request, larger ones are enqueued — provided Start has
+	// launched the worker pool. Default 2.
+	SyncDays float64
+
+	// Svc is the async job service backing every submission.
+	Svc *serve.Service
+
 	mu    sync.Mutex
-	runs  int
 	saved int
 }
 
@@ -48,10 +64,29 @@ type Server struct {
 // caller overrides RunTimeout.
 const DefaultRunTimeout = 2 * time.Minute
 
+// SyncScenarioDays is the /study fast-path budget: studies of at most
+// this many scenario-days (scenarios × days each) run synchronously.
+const SyncScenarioDays = 5.0
+
 // NewServer returns a web frontend saving uploads to saveDir ("" =
-// don't save).
+// don't save). The async worker pool starts with Start; without it
+// every request uses the synchronous fast-path.
 func NewServer(saveDir string) *Server {
-	return &Server{SaveDir: saveDir, MaxDays: 30, RunTimeout: DefaultRunTimeout}
+	return &Server{
+		SaveDir:    saveDir,
+		MaxDays:    30,
+		RunTimeout: DefaultRunTimeout,
+		SyncDays:   2,
+		Svc:        serve.New(serve.Config{}),
+	}
+}
+
+// Start launches the async worker pool under ctx; cancelling ctx stops
+// it. Until Start is called, /run and /study fall back to synchronous
+// handling and the async API responds 503.
+func (s *Server) Start(ctx context.Context) {
+	s.Svc.RunTimeout = s.RunTimeout
+	s.Svc.Start(ctx)
 }
 
 // Handler returns the HTTP handler tree.
@@ -60,6 +95,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/", s.index)
 	mux.HandleFunc("/run", s.run)
 	mux.HandleFunc("/study", s.study)
+	mux.HandleFunc("/jobs/", s.jobPages)
+	mux.HandleFunc("/api/run", s.apiRun)
+	mux.HandleFunc("/api/study", s.apiStudy)
+	mux.HandleFunc("/api/jobs/", s.apiJobs)
 	return mux
 }
 
@@ -74,7 +113,8 @@ var indexTmpl = template.Must(template.New("index").Parse(`<!doctype html>
 <h1>BOINC client emulator</h1>
 <p>Paste your <code>client_state.xml</code> (or a JSON scenario) below,
 pick the scheduling policies, and the emulator will predict the client's
-behaviour and report the figures of merit.</p>
+behaviour and report the figures of merit. Small requests come back
+immediately; long emulations get a job ticket and a progress page.</p>
 <form method="post" action="/run">
 <textarea name="state" rows="16" placeholder="&lt;client_state&gt;...&lt;/client_state&gt;  or  {&quot;name&quot;: ...}"></textarea>
 <p>
@@ -110,17 +150,19 @@ var resultTmpl = template.Must(template.New("result").Parse(`<!doctype html>
  td, th { border: 1px solid #ccc; padding: 0.3em 0.8em; text-align: right; }
  th { background: #eee; }
  pre { background: #f7f7f7; padding: 1em; overflow-x: auto; max-height: 30em; }
+ .notice { background: #fff5d6; border: 1px solid #e0c050; padding: 0.5em 1em; }
 </style></head>
 <body>
 <h1>Emulation of “{{.Name}}”</h1>
-<p>{{.NProjects}} project(s), {{.Days}} days, policies {{.Sched}} / {{.Fetch}}.</p>
+{{range .Notices}}<p class="notice">⚠ {{.}}</p>
+{{end}}<p>{{.NProjects}} project(s), {{.Days}} days, policies {{.Sched}} / {{.Fetch}}.</p>
 <h2>Figures of merit</h2>
 <table><tr>{{range .MetricNames}}<th>{{.}}</th>{{end}}</tr>
 <tr>{{range .MetricValues}}<td>{{printf "%.4f" .}}</td>{{end}}</tr></table>
 <p>{{.Jobs}} jobs completed ({{.Missed}} missed their deadline), {{.RPCs}} scheduler RPCs.</p>
 <h2>Timeline</h2>
 {{.SVG}}
-<h2>Message log (first {{.LogLines}} lines)</h2>
+<h2>Message log ({{.LogShown}} of {{.LogTotal}} lines)</h2>
 <pre>{{.Log}}</pre>
 <p><a href="/">run another scenario</a></p>
 </body></html>`))
@@ -148,21 +190,38 @@ func (s *Server) run(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	scn, err := parseUpload(state)
+	// The stated purpose of saving uploads is debugging volunteer
+	// inputs, and malformed uploads are exactly the ones worth
+	// keeping — so save before rejecting, tagging parse failures.
+	s.save(state, err == nil)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	if v, err := strconv.ParseFloat(r.FormValue("days"), 64); err == nil && v > 0 {
-		scn.DurationDays = v
+
+	var notices []string
+	requestedDays := scn.DurationDays
+	if dstr := r.FormValue("days"); dstr != "" {
+		if v, perr := strconv.ParseFloat(dstr, 64); perr == nil && v > 0 {
+			scn.DurationDays = v
+			requestedDays = v
+		} else {
+			notices = append(notices, fmt.Sprintf("could not use requested days %q; kept the scenario's %g", dstr, scn.DurationDays))
+		}
 	}
 	maxDays := s.MaxDays
 	if maxDays <= 0 {
 		maxDays = 30
 	}
-	if scn.DurationDays > maxDays || scn.DurationDays <= 0 {
+	switch {
+	case scn.DurationDays > maxDays:
 		scn.DurationDays = maxDays
+		notices = append(notices, fmt.Sprintf("requested %g days exceeds this server's %g-day cap; emulated %g days instead", requestedDays, maxDays, maxDays))
+	case scn.DurationDays <= 0:
+		scn.DurationDays = maxDays
+		notices = append(notices, fmt.Sprintf("requested duration %g is not positive; emulated the %g-day cap instead", requestedDays, maxDays))
 	}
-	if v, err := strconv.ParseInt(r.FormValue("seed"), 10, 64); err == nil {
+	if v, perr := strconv.ParseInt(r.FormValue("seed"), 10, 64); perr == nil {
 		scn.Seed = v
 	}
 	if p := r.FormValue("sched"); p != "" {
@@ -172,26 +231,32 @@ func (s *Server) run(w http.ResponseWriter, r *http.Request) {
 		scn.Policies.JobFetch = p
 	}
 
-	cfg, err := scn.Config()
-	if err != nil {
+	req := serve.Request{Kind: serve.KindRun, Scenario: scn}
+	if err := req.Validate(); err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	s.save(state)
 
-	var log bytes.Buffer
-	cfg.RecordTimeline = true
-	cfg.Log = &log
+	// Large request + running worker pool: enqueue and hand back a
+	// ticket page instead of burning this handler goroutine.
+	if s.Svc.Started() && scn.DurationDays > s.syncDays() {
+		view, err := s.Svc.Submit(req)
+		if err != nil {
+			s.submitError(w, err)
+			return
+		}
+		http.Redirect(w, r, "/jobs/"+view.ID, http.StatusSeeOther)
+		return
+	}
 
-	// The emulation runs under the request context: if the volunteer
-	// closes the tab, the run stops at the next event-batch boundary.
+	// Synchronous fast-path: cache-aware, bounded, single roundtrip.
 	ctx := r.Context()
 	if s.RunTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, s.RunTimeout)
 		defer cancel()
 	}
-	res, err := runner.Run(ctx, cfg)
+	out, cacheHit, err := s.Svc.Do(ctx, req)
 	if err != nil {
 		switch {
 		case r.Context().Err() != nil:
@@ -199,19 +264,41 @@ func (s *Server) run(w http.ResponseWriter, r *http.Request) {
 		case errors.Is(err, context.DeadlineExceeded):
 			http.Error(w, fmt.Sprintf("emulation exceeded the server's %v limit; reduce days", s.RunTimeout),
 				http.StatusGatewayTimeout)
+		case errors.Is(err, serve.ErrBusy):
+			s.shed(w)
 		default:
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 		return
 	}
-	s.mu.Lock()
-	s.runs++
-	s.mu.Unlock()
-
-	logLines := strings.SplitN(log.String(), "\n", maxLogLines+1)
-	if len(logLines) > maxLogLines {
-		logLines = logLines[:maxLogLines]
+	if cacheHit {
+		notices = append(notices, "served from the result cache: an identical scenario was emulated earlier")
 	}
+	s.renderRun(w, out, notices)
+}
+
+// renderRun writes the result page for a finished run outcome.
+func (s *Server) renderRun(w http.ResponseWriter, out *serve.Outcome, notices []string) {
+	scn := out.Scenario
+	res := out.Result
+
+	lines := strings.Split(out.Log, "\n")
+	if n := len(lines); n > 0 && lines[n-1] == "" {
+		lines = lines[:n-1] // the final newline is not an extra log line
+	}
+	total := len(lines)
+	shown := total
+	if shown > maxLogLines {
+		shown = maxLogLines
+	}
+	logText := strings.Join(lines[:shown], "\n")
+	if shown < total {
+		logText += fmt.Sprintf("\n… truncated (%d more lines not shown)", total-shown)
+	}
+	if out.LogCap {
+		logText += "\n… log capped on the server; line counts are lower bounds"
+	}
+
 	names := metrics.Names()
 	data := struct {
 		Name         string
@@ -224,7 +311,9 @@ func (s *Server) run(w http.ResponseWriter, r *http.Request) {
 		RPCs         int
 		SVG          template.HTML
 		Log          string
-		LogLines     int
+		LogShown     int
+		LogTotal     int
+		Notices      []string
 	}{
 		Name:         scn.Name,
 		NProjects:    len(scn.Projects),
@@ -237,8 +326,10 @@ func (s *Server) run(w http.ResponseWriter, r *http.Request) {
 		Missed:       res.Metrics.MissedJobs,
 		RPCs:         res.Metrics.RPCs,
 		SVG:          template.HTML(res.Timeline.SVG(1100, 16)),
-		Log:          strings.Join(logLines, "\n"),
-		LogLines:     maxLogLines,
+		Log:          logText,
+		LogShown:     shown,
+		LogTotal:     total,
+		Notices:      notices,
 	}
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
 	resultTmpl.Execute(w, data) //bce:errok headers are sent; a failed render only means the client hung up
@@ -249,10 +340,12 @@ var studyTmpl = template.Must(template.New("study").Parse(`<!doctype html>
 <style>
  body { font-family: sans-serif; max-width: 72em; margin: 2em auto; }
  pre { background: #f7f7f7; padding: 1em; overflow-x: auto; }
+ .notice { background: #fff5d6; border: 1px solid #e0c050; padding: 0.5em 1em; }
 </style></head>
 <body>
 <h1>Population study</h1>
-<p>{{.N}} sampled scenarios of {{.Days}} days each, seed {{.Seed}}.</p>
+{{range .Notices}}<p class="notice">⚠ {{.}}</p>
+{{end}}<p>{{.N}} sampled scenarios of {{.Days}} days each, seed {{.Seed}}.</p>
 <h2>Population means (95% CI)</h2>
 <pre>{{.Table}}</pre>
 <h2>share_violation quantiles</h2>
@@ -269,35 +362,51 @@ const (
 	maxStudyDays      = 2.0
 )
 
-// studyParams parses and clamps the study form fields.
-func studyParams(nStr, daysStr, seedStr string) (n int, days float64, seed int64) {
+// studyParams parses and clamps the study form fields, reporting every
+// clamp as a user-visible notice — the page must not silently present
+// results for a smaller study than the one requested.
+func studyParams(nStr, daysStr, seedStr string) (n int, days float64, seed int64, notices []string) {
 	n, days, seed = 30, 0.5, 1
 	if v, err := strconv.Atoi(nStr); err == nil && v > 0 {
 		n = v
 	}
 	if n > maxStudyScenarios {
+		notices = append(notices, fmt.Sprintf("requested %d scenarios exceeds this server's cap; ran %d", n, maxStudyScenarios))
 		n = maxStudyScenarios
 	}
 	if v, err := strconv.ParseFloat(daysStr, 64); err == nil && v > 0 {
 		days = v
 	}
 	if days > maxStudyDays {
+		notices = append(notices, fmt.Sprintf("requested %g days per scenario exceeds this server's cap; ran %g", days, maxStudyDays))
 		days = maxStudyDays
 	}
 	if v, err := strconv.ParseInt(seedStr, 10, 64); err == nil {
 		seed = v
 	}
-	return n, days, seed
+	return n, days, seed, notices
 }
 
-// study runs a small streaming population study (paper §6.2) under the
-// request context and renders the aggregate tables.
+// study runs a small streaming population study (paper §6.2) — through
+// the job queue when it is large and the pool is running, else
+// synchronously under the request context.
 func (s *Server) study(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
-	n, days, seed := studyParams(r.FormValue("n"), r.FormValue("days"), r.FormValue("seed"))
+	n, days, seed, notices := studyParams(r.FormValue("n"), r.FormValue("days"), r.FormValue("seed"))
+	req := serve.Request{Kind: serve.KindStudy, StudyScenarios: n, StudyDays: days, StudySeed: seed}
+
+	if s.Svc.Started() && float64(n)*days > SyncScenarioDays {
+		view, err := s.Svc.Submit(req)
+		if err != nil {
+			s.submitError(w, err)
+			return
+		}
+		http.Redirect(w, r, "/jobs/"+view.ID, http.StatusSeeOther)
+		return
+	}
 
 	ctx := r.Context()
 	if s.RunTimeout > 0 {
@@ -305,11 +414,7 @@ func (s *Server) study(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = context.WithTimeout(ctx, s.RunTimeout)
 		defer cancel()
 	}
-	st, err := population.Run(ctx, population.Params{
-		Scenarios:  n,
-		Seed:       seed,
-		Population: scenario.PopulationParams{DurationDays: days},
-	})
+	out, cacheHit, err := s.Svc.Do(ctx, req)
 	if err != nil {
 		switch {
 		case r.Context().Err() != nil:
@@ -317,14 +422,21 @@ func (s *Server) study(w http.ResponseWriter, r *http.Request) {
 		case errors.Is(err, context.DeadlineExceeded):
 			http.Error(w, fmt.Sprintf("study exceeded the server's %v limit; reduce scenarios or days", s.RunTimeout),
 				http.StatusGatewayTimeout)
+		case errors.Is(err, serve.ErrBusy):
+			s.shed(w)
 		default:
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 		return
 	}
-	s.mu.Lock()
-	s.runs++
-	s.mu.Unlock()
+	if cacheHit {
+		notices = append(notices, "served from the result cache: an identical study ran earlier")
+	}
+	s.renderStudy(w, out.Study, notices)
+}
+
+// renderStudy writes the study page for a finished study outcome.
+func (s *Server) renderStudy(w http.ResponseWriter, st *population.Study, notices []string) {
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
 	//bce:errok headers are sent; a failed render only means the client hung up
 	studyTmpl.Execute(w, struct {
@@ -332,7 +444,37 @@ func (s *Server) study(w http.ResponseWriter, r *http.Request) {
 		Days                   float64
 		Seed                   int64
 		Table, Quantiles, Wins string
-	}{n, days, seed, st.Table(), st.QuantileTable(2), st.WinsTable(2) + "\n" + st.WinsTable(4)})
+		Notices                []string
+	}{st.Target, st.Population.DurationDays, st.Seed,
+		st.Table(), st.QuantileTable(2), st.WinsTable(2) + "\n" + st.WinsTable(4), notices})
+}
+
+// syncDays returns the effective fast-path threshold.
+func (s *Server) syncDays() float64 {
+	if s.SyncDays > 0 {
+		return s.SyncDays
+	}
+	return 2
+}
+
+// shed writes the load-shedding response: 429 plus the service's
+// queue-drain estimate as Retry-After.
+func (s *Server) shed(w http.ResponseWriter) {
+	ra := s.Svc.RetryAfter()
+	w.Header().Set("Retry-After", strconv.Itoa(int(ra.Seconds())))
+	http.Error(w, fmt.Sprintf("server is at capacity; retry in ~%v", ra), http.StatusTooManyRequests)
+}
+
+// submitError maps Submit errors to responses.
+func (s *Server) submitError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, serve.ErrQueueFull):
+		s.shed(w)
+	case errors.Is(err, serve.ErrNotStarted):
+		http.Error(w, "job queue not running", http.StatusServiceUnavailable)
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
 }
 
 // parseUpload accepts either a client_state.xml or a JSON scenario.
@@ -347,8 +489,10 @@ func parseUpload(state string) (*scenario.Scenario, error) {
 }
 
 // save writes the upload to SaveDir for later debugging (the paper's
-// "input files are saved on the server").
-func (s *Server) save(state string) {
+// "input files are saved on the server"). Uploads that failed to parse
+// are saved too — tagged, because volunteer-submitted inputs the
+// importer chokes on are the most valuable ones to keep.
+func (s *Server) save(state string, parsedOK bool) {
 	if s.SaveDir == "" {
 		return
 	}
@@ -356,18 +500,21 @@ func (s *Server) save(state string) {
 	s.saved++
 	n := s.saved
 	s.mu.Unlock()
+	tag := ""
+	if !parsedOK {
+		tag = "_badparse"
+	}
 	//bce:wallclock uploaded state files are stamped with real receipt time
-	name := fmt.Sprintf("upload_%s_%04d.txt", time.Now().UTC().Format("20060102T150405"), n)
+	name := fmt.Sprintf("upload_%s_%04d%s.txt", time.Now().UTC().Format("20060102T150405"), n, tag)
 	//bce:errok both drops below: saving uploads is best-effort debugging aid, never worth failing the request
 	_ = os.MkdirAll(s.SaveDir, 0o755)
 	_ = os.WriteFile(filepath.Join(s.SaveDir, name), []byte(state), 0o644) //bce:errok see above
 }
 
-// Runs reports how many emulations the server has performed.
+// Runs reports how many emulations/studies the server has actually
+// executed (cache hits excluded).
 func (s *Server) Runs() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.runs
+	return s.Svc.Stats().Runs
 }
 
 func orDefault(v, d string) string {

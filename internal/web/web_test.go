@@ -223,13 +223,20 @@ func TestStudyRejectsGET(t *testing.T) {
 // The scenario and duration caps bound a web-triggered study even when
 // the form asks for more.
 func TestStudyCapsInputs(t *testing.T) {
-	n, days, seed := studyParams("999999", "50", "9")
+	n, days, seed, notices := studyParams("999999", "50", "9")
 	if n != maxStudyScenarios || days != maxStudyDays || seed != 9 {
 		t.Fatalf("params = %d/%g/%d, want clamped to %d/%g/9", n, days, seed, maxStudyScenarios, maxStudyDays)
 	}
-	n, days, seed = studyParams("", "-3", "junk")
+	// Clamping must be reported, not silent (one notice per clamp).
+	if len(notices) != 2 {
+		t.Fatalf("notices = %q, want one per clamped field", notices)
+	}
+	n, days, seed, notices = studyParams("", "-3", "junk")
 	if n != 30 || days != 0.5 || seed != 1 {
 		t.Fatalf("defaults = %d/%g/%d, want 30/0.5/1", n, days, seed)
+	}
+	if len(notices) != 0 {
+		t.Fatalf("defaults produced notices %q", notices)
 	}
 }
 
