@@ -1,23 +1,35 @@
-// Command bcelint runs BCE's determinism-enforcing analyzer suite
-// (internal/analyzers) over the module: nowalltime, seededrand,
-// mapiter, ctxpass, seedderive and errdrop, with interprocedural fact
-// propagation surfacing laundered violations at the governed call site
-// (see DESIGN.md §10). CI runs it as `go run ./cmd/bcelint -json ./...`;
-// a non-empty report exits 1.
+// Command bcelint runs BCE's contract-enforcing analyzer suite
+// (internal/analyzers) over the module — six determinism rules
+// (nowalltime, seededrand, mapiter, ctxpass, seedderive, errdrop) and
+// three concurrency rules (guardedby, goleak, lockorder) — with
+// interprocedural fact propagation surfacing laundered violations at
+// the governed call site (see DESIGN.md §10). CI runs it as
+// `go run ./cmd/bcelint -json -baseline .bcelint-baseline.json ./...`;
+// a non-baselined finding exits 1.
 //
 // With -json, each diagnostic is one JSON object per line (analyzer,
 // position, message, call chain) for CI annotations and editors; plain
 // text renders the chain indented under the finding.
 //
-// Analyzers see only non-test Go files — tests may use wall time and
-// ad-hoc seeded RNGs freely.
+// -baseline FILE suppresses findings recorded in FILE, so a new
+// analyzer can land before every pre-existing finding is fixed: CI
+// fails only on findings outside the baseline. -write-baseline
+// (re)writes FILE from the current findings. Keys are content hashes
+// of (analyzer, cwd-relative position, message), so a baseline
+// survives checkout moves but not code drift — any change to the
+// finding re-surfaces it.
+//
+// Analyzers see only non-test Go files — tests may use wall time,
+// ad-hoc seeded RNGs, and unguarded scaffolding freely.
 package main
 
 import (
+	"crypto/sha256"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"bce/internal/analyzers"
 )
@@ -44,11 +56,66 @@ type jsonDiag struct {
 	Chain    []jsonStep `json:"chain,omitempty"`
 }
 
+// baselineFile is the committed suppression list: finding key → a
+// human-readable summary (the summary is documentation only; matching
+// is by key).
+type baselineFile struct {
+	Findings map[string]string `json:"findings"`
+}
+
+// relFile renders a diagnostic's file cwd-relative when possible, so
+// the same finding reads (and hashes) identically in CI and local
+// checkouts.
+func relFile(file string) string {
+	if wd, err := os.Getwd(); err == nil {
+		if rel, err := filepath.Rel(wd, file); err == nil {
+			return filepath.ToSlash(rel)
+		}
+	}
+	return file
+}
+
+// findingKey hashes one diagnostic into its stable baseline key.
+func findingKey(d analyzers.Diagnostic) string {
+	h := sha256.Sum256([]byte(fmt.Sprintf("%s\x00%s:%d:%d\x00%s",
+		d.Analyzer, relFile(d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Message)))
+	return fmt.Sprintf("%x", h[:12])
+}
+
+func readBaseline(path string) (map[string]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var bf baselineFile
+	if err := json.Unmarshal(data, &bf); err != nil {
+		return nil, fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	return bf.Findings, nil
+}
+
+func writeBaseline(path string, diags []analyzers.Diagnostic) error {
+	bf := baselineFile{Findings: map[string]string{}}
+	for _, d := range diags {
+		bf.Findings[findingKey(d)] = fmt.Sprintf("%s: %s:%d:%d",
+			d.Analyzer, relFile(d.Pos.Filename), d.Pos.Line, d.Pos.Column)
+	}
+	data, err := json.MarshalIndent(bf, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
 func main() {
 	jsonOut := flag.Bool("json", false,
 		"emit one JSON diagnostic object per line (analyzer, pos, message, chain)")
+	baselinePath := flag.String("baseline", "",
+		"suppress findings recorded in this baseline file; fail only on new ones")
+	writeBase := flag.Bool("write-baseline", false,
+		"rewrite the -baseline file from the current findings and exit 0")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: bcelint [-json] [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: bcelint [-json] [-baseline file [-write-baseline]] [packages]\n\n")
 		for _, rule := range analyzers.Suite() {
 			fmt.Fprintf(flag.CommandLine.Output(), "  %-12s %s\n", rule.Analyzer.Name, rule.Analyzer.Doc)
 		}
@@ -64,6 +131,38 @@ func main() {
 		fmt.Fprintln(os.Stderr, "bcelint:", err)
 		os.Exit(2)
 	}
+
+	if *writeBase {
+		if *baselinePath == "" {
+			fmt.Fprintln(os.Stderr, "bcelint: -write-baseline needs -baseline FILE")
+			os.Exit(2)
+		}
+		if err := writeBaseline(*baselinePath, diags); err != nil {
+			fmt.Fprintln(os.Stderr, "bcelint:", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "bcelint: wrote %d finding(s) to %s\n", len(diags), *baselinePath)
+		return
+	}
+
+	suppressed := 0
+	if *baselinePath != "" {
+		base, err := readBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bcelint:", err)
+			os.Exit(2)
+		}
+		kept := diags[:0]
+		for _, d := range diags {
+			if _, ok := base[findingKey(d)]; ok {
+				suppressed++
+				continue
+			}
+			kept = append(kept, d)
+		}
+		diags = kept
+	}
+
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		for _, d := range diags {
@@ -92,8 +191,11 @@ func main() {
 			}
 		}
 	}
+	if suppressed > 0 {
+		fmt.Fprintf(os.Stderr, "bcelint: %d baselined finding(s) suppressed\n", suppressed)
+	}
 	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "bcelint: %d determinism violation(s)\n", len(diags))
+		fmt.Fprintf(os.Stderr, "bcelint: %d violation(s)\n", len(diags))
 		os.Exit(1)
 	}
 }

@@ -1,4 +1,4 @@
-// Package analyzers is BCE's determinism-enforcing static-analysis
+// Package analyzers is BCE's contract-enforcing static-analysis
 // suite. It mirrors the golang.org/x/tools/go/analysis API shape on the
 // standard library alone (go/ast + go/types + gc export data via `go
 // list -export`), because the module is intentionally dependency-free.
@@ -19,16 +19,27 @@
 //     runner.DeriveSeed instead.
 //   - errdrop: library code must not silently discard errors.
 //
-// The first three also propagate interprocedurally: a module-wide call
-// graph and fact store (facts.go) surface a wall-clock read, global
-// rand draw, or map range buried in an out-of-scope helper at the
-// governed call site, with the full call chain.
+// Three more enforce the concurrency contract (DESIGN.md §10.2):
+//
+//   - guardedby: fields annotated //bce:guardedby <mu> are only
+//     accessed with the lock held, tracked through the held-lock set
+//     and checked across calls.
+//   - goleak: every go statement has a visible termination path — a
+//     context, a stop channel, or an awaited WaitGroup.
+//   - lockorder: the module-wide lock-order graph stays acyclic;
+//     cycles are reported as potential deadlocks with both chains.
+//
+// Several rules also propagate interprocedurally: a module-wide call
+// graph and fact store (facts.go for the determinism facts,
+// concurrency.go for requires-lock/acquires/terminates) surface a
+// violation buried in an out-of-scope helper at the governed call
+// site, with the full call chain.
 //
 // Escape hatches are directive comments: //bce:wallclock,
-// //bce:unordered, //bce:ctxshim, //bce:seedok and //bce:errok,
-// honored on the flagged line, the line above it, the enclosing
-// function's doc comment, or (for closures) the function literal's
-// opening line or the line above it.
+// //bce:unordered, //bce:ctxshim, //bce:seedok, //bce:errok,
+// //bce:lockok and //bce:bgok, honored on the flagged line, the line
+// above it, the enclosing function's doc comment, or (for closures)
+// the function literal's opening line or the line above it.
 package analyzers
 
 import (

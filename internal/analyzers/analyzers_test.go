@@ -52,3 +52,20 @@ func TestInterprocedural(t *testing.T) {
 	}
 	analysistest.RunModule(t, rules, golden("interp"))
 }
+
+// TestConcurrency runs the concurrency tier over the conc golden
+// mini-module: guardedby (held-lock tracking, RWMutex strength,
+// cross-function requirements with witness chains), goleak (lifeline
+// arguments, channel signals, awaited WaitGroups, interprocedural
+// terminates facts), and lockorder (the A→B / B→A deadlock cycle —
+// one half hidden behind a helper — reported exactly once with both
+// chains, plus a reentrant self-cycle).
+func TestConcurrency(t *testing.T) {
+	all := func(string) bool { return true }
+	rules := []analyzers.Rule{
+		{Analyzer: analyzers.GuardedBy, Applies: all},
+		{Analyzer: analyzers.GoLeak, Applies: all},
+		{Analyzer: analyzers.LockOrder, Applies: all},
+	}
+	analysistest.RunModule(t, rules, golden("conc"))
+}

@@ -1,0 +1,683 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file is the module-level half of the concurrency tier: three
+// interprocedural fact fixpoints over the same call graph and Tarjan
+// SCC machinery the determinism facts use (facts.go), feeding the
+// guardedby, goleak and lockorder rules.
+//
+//   - requires: function f needs lock L held on entry (it accesses a
+//     //bce:guardedby field, or calls a helper that does, without
+//     acquiring L itself). Discharged at call sites that hold L;
+//     reported at root functions (exported, or called by nobody in the
+//     module) with the witness chain down to the raw field access.
+//   - acquires: f may take lock L (directly or transitively). The
+//     cross product of "locks held at a call site" × "locks the callee
+//     may acquire" yields the module-wide lock-order graph; any cycle
+//     in it is a potential deadlock, reported once with the acquisition
+//     chains as evidence.
+//   - terminates: f has a visible termination path (a context or
+//     receivable-channel parameter, or a body that receives, selects,
+//     or ranges over a channel — directly or through a callee). A go
+//     statement with no lifeline argument, no such signal in the
+//     spawned body, no awaited WaitGroup and no terminating callee is a
+//     leak-prone fire-and-forget goroutine (goleak), escapable with
+//     //bce:bgok.
+
+// guardKey is one lock requirement: the guard's typeKey plus the
+// access strength (a write needs the exclusive lock, so read and write
+// requirements propagate independently).
+type guardKey struct {
+	lock  lockID
+	write bool
+}
+
+// reqInfo is one function's witness for one requirement: where inside
+// the function it arises, and the next function toward the raw access
+// (nil at the leaf). Like the determinism facts, witnesses are
+// assigned exactly once, so chains are finite inside call-graph
+// cycles.
+type reqInfo struct {
+	pos  token.Pos
+	what string      // leaf only: "write of serve.job.state"
+	via  *types.Func // next hop toward the access; nil at the leaf
+}
+
+// acqInfo is one function's witness for one (transitive) lock
+// acquisition.
+type acqInfo struct {
+	pos  token.Pos
+	read bool
+	via  *types.Func // nil: a direct Lock/RLock at pos
+}
+
+// concEngine holds the computed concurrency facts for the module.
+type concEngine struct {
+	fset    *token.FileSet
+	graph   *callGraph
+	markers map[*Package]*markerIndex
+
+	guards    guardTable
+	badGuards []badGuard
+	sums      map[*types.Func]*funcSummary
+
+	requires   map[*types.Func]map[guardKey]*reqInfo
+	acquires   map[*types.Func]map[lockID]*acqInfo
+	terminates map[*types.Func]bool
+	awaitedWGs map[types.Object]bool
+	callers    map[*types.Func]int
+}
+
+// concurrencyRules reports whether any concurrency-tier rule is in the
+// set, so RunRules can skip the engine entirely for other suites.
+func concurrencyRules(rules []Rule) bool {
+	for _, r := range rules {
+		switch r.Analyzer.Name {
+		case "guardedby", "goleak", "lockorder":
+			return true
+		}
+	}
+	return false
+}
+
+// computeConcurrency builds the engine: per-function summaries from the
+// held-lock body scan (locks.go), then the three fact fixpoints over
+// the call graph's strongly connected components in reverse topological
+// order.
+func computeConcurrency(pkgs []*Package, graph *callGraph) *concEngine {
+	e := &concEngine{
+		graph:      graph,
+		markers:    make(map[*Package]*markerIndex, len(pkgs)),
+		sums:       make(map[*types.Func]*funcSummary),
+		requires:   make(map[*types.Func]map[guardKey]*reqInfo),
+		acquires:   make(map[*types.Func]map[lockID]*acqInfo),
+		terminates: make(map[*types.Func]bool),
+		awaitedWGs: make(map[types.Object]bool),
+		callers:    make(map[*types.Func]int),
+	}
+	for _, pkg := range pkgs {
+		e.fset = pkg.Fset // Load shares one FileSet across the module
+		e.markers[pkg] = indexMarkers(pkg.Fset, pkg.Files)
+	}
+	e.guards, e.badGuards = collectGuards(pkgs)
+
+	for _, n := range graph.order {
+		if n.body != nil {
+			sum := summarize(n, e.guards)
+			e.sums[n.fn] = sum
+			for _, wg := range sum.wgWaits {
+				e.awaitedWGs[wg] = true
+			}
+		}
+		for _, edge := range n.out {
+			e.callers[edge.callee]++
+		}
+	}
+
+	for _, n := range graph.order {
+		if sum := e.sums[n.fn]; sum != nil {
+			e.seed(n, sum)
+		}
+	}
+
+	for _, comp := range graph.sccs() {
+		changed := true
+		for changed {
+			changed = false
+			for _, n := range comp {
+				for _, c := range e.callRecords(n) {
+					if e.propagate(n, c) {
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return e
+}
+
+// seed records each function's direct facts: unguarded accesses to
+// annotated fields (requirements), direct lock acquisitions, and
+// termination signals from the body or the signature.
+func (e *concEngine) seed(n *cgNode, sum *funcSummary) {
+	idx := e.markers[n.pkg]
+	for _, a := range sum.accesses {
+		if a.held.satisfies(a.guard.lock, a.write) {
+			continue
+		}
+		if idx.allows(e.fset, "lockok", a.pos) {
+			continue
+		}
+		key := guardKey{lock: a.guard.lock, write: a.write}
+		if e.req(n.fn)[key] == nil {
+			rw := "read"
+			if a.write {
+				rw = "write"
+			}
+			e.req(n.fn)[key] = &reqInfo{pos: a.pos, what: fmt.Sprintf("%s of %s", rw, a.guard.display)}
+		}
+	}
+	for _, acq := range sum.acqs {
+		key := acq.id.typeKey()
+		if e.acq(n.fn)[key] == nil {
+			e.acq(n.fn)[key] = &acqInfo{pos: acq.pos, read: acq.read}
+		}
+	}
+	if sum.termSeed || signatureLifeline(n.fn) {
+		e.terminates[n.fn] = true
+	}
+}
+
+// callRecords is the list of (call site, held locks) pairs facts flow
+// through for one node: the scanned call sites for declared functions,
+// or the synthetic CHA edges (no position, nothing held) for interface
+// methods.
+func (e *concEngine) callRecords(n *cgNode) []callSite {
+	if sum := e.sums[n.fn]; sum != nil {
+		return sum.calls
+	}
+	records := make([]callSite, 0, len(n.out))
+	for _, edge := range n.out {
+		records = append(records, callSite{pos: n.fn.Pos(), callee: edge.callee, held: nil})
+	}
+	return records
+}
+
+// propagate flows the callee's facts across one call site: lock
+// requirements not discharged by the held set, transitive acquisitions,
+// and termination.
+func (e *concEngine) propagate(n *cgNode, c callSite) bool {
+	changed := false
+	var idx *markerIndex
+	if n.pkg != nil {
+		idx = e.markers[n.pkg]
+	}
+	if from := e.requires[c.callee]; len(from) > 0 {
+		for _, key := range sortedGuardKeys(from) {
+			if c.held.satisfies(key.lock, key.write) {
+				continue
+			}
+			if idx != nil && idx.allows(e.fset, "lockok", c.pos) {
+				continue
+			}
+			if e.req(n.fn)[key] == nil {
+				e.req(n.fn)[key] = &reqInfo{pos: c.pos, via: c.callee}
+				changed = true
+			}
+		}
+	}
+	if from := e.acquires[c.callee]; len(from) > 0 {
+		for _, key := range sortedLockKeys(from) {
+			if e.acq(n.fn)[key] == nil {
+				e.acq(n.fn)[key] = &acqInfo{pos: c.pos, read: from[key].read, via: c.callee}
+				changed = true
+			}
+		}
+	}
+	if e.terminates[c.callee] && !e.terminates[n.fn] {
+		e.terminates[n.fn] = true
+		changed = true
+	}
+	return changed
+}
+
+func (e *concEngine) req(fn *types.Func) map[guardKey]*reqInfo {
+	m := e.requires[fn]
+	if m == nil {
+		m = make(map[guardKey]*reqInfo)
+		e.requires[fn] = m
+	}
+	return m
+}
+
+func (e *concEngine) acq(fn *types.Func) map[lockID]*acqInfo {
+	m := e.acquires[fn]
+	if m == nil {
+		m = make(map[lockID]*acqInfo)
+		e.acquires[fn] = m
+	}
+	return m
+}
+
+// signatureLifeline reports whether fn's parameters include a context
+// or a receivable channel — a caller-provided termination path.
+func signatureLifeline(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		t := sig.Params().At(i).Type()
+		if isContextType(t) || isReceivableChan(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// isRootFunc reports whether requirements surface at fn: exported
+// functions can be entered from anywhere, and a function nobody in the
+// module calls has no call site left to discharge its requirement.
+func (e *concEngine) isRootFunc(fn *types.Func) bool {
+	return fn.Exported() || e.callers[fn] == 0
+}
+
+// report emits the concurrency-tier diagnostics for the rules present
+// in the set.
+func (e *concEngine) report(rules []Rule) []Diagnostic {
+	var out []Diagnostic
+	for _, rule := range rules {
+		switch rule.Analyzer.Name {
+		case "guardedby":
+			out = append(out, e.reportGuardedBy(rule)...)
+		case "goleak":
+			out = append(out, e.reportGoLeak(rule)...)
+		case "lockorder":
+			out = append(out, e.reportLockOrder(rule)...)
+		}
+	}
+	return out
+}
+
+// reportGuardedBy emits malformed annotations, every unguarded direct
+// access in a root function, and undischarged requirements imported
+// through calls — the latter with the witness chain down to the raw
+// access.
+func (e *concEngine) reportGuardedBy(rule Rule) []Diagnostic {
+	var out []Diagnostic
+	for _, bg := range e.badGuards {
+		if !rule.Applies(bg.pkg.ImportPath) {
+			continue
+		}
+		out = append(out, Diagnostic{
+			Analyzer: rule.Analyzer.Name,
+			Pos:      e.fset.Position(bg.pos),
+			Message:  bg.message,
+		})
+	}
+	for _, n := range e.graph.order {
+		sum := e.sums[n.fn]
+		if sum == nil || n.pkg == nil || !rule.Applies(n.pkg.ImportPath) {
+			continue
+		}
+		if !e.isRootFunc(n.fn) {
+			continue // a caller discharges or inherits the requirement
+		}
+		idx := e.markers[n.pkg]
+		for _, a := range sum.accesses {
+			if a.held.satisfies(a.guard.lock, a.write) || idx.allows(e.fset, "lockok", a.pos) {
+				continue
+			}
+			rw := "read"
+			if a.write {
+				rw = "write"
+			}
+			out = append(out, Diagnostic{
+				Analyzer: rule.Analyzer.Name,
+				Pos:      e.fset.Position(a.pos),
+				Message: fmt.Sprintf("%s of %s without holding %s; acquire the lock, or annotate a checked invariant with //bce:lockok",
+					rw, a.guard.display, a.guard.lock.display()),
+			})
+		}
+		for _, key := range sortedGuardKeys(e.requires[n.fn]) {
+			ri := e.requires[n.fn][key]
+			if ri.via == nil {
+				continue // direct accesses already reported above
+			}
+			out = append(out, Diagnostic{
+				Analyzer: rule.Analyzer.Name,
+				Pos:      e.fset.Position(ri.pos),
+				Message: fmt.Sprintf("call into %s needs %s held (%s); acquire the lock before this call, or annotate a checked invariant with //bce:lockok",
+					ri.via.FullName(), key.lock.display(), e.reqChainSummary(n.fn, key)),
+				Chain: e.reqChain(n.fn, key),
+			})
+		}
+	}
+	return out
+}
+
+// reqChain renders the witness path from fn down to the raw field
+// access.
+func (e *concEngine) reqChain(fn *types.Func, key guardKey) []ChainStep {
+	var steps []ChainStep
+	for cur := fn; cur != nil && len(steps) < maxChainLen; {
+		ri := e.requires[cur][key]
+		if ri == nil {
+			break
+		}
+		what := ri.what
+		if ri.via != nil {
+			what = "calls " + ri.via.FullName()
+		}
+		steps = append(steps, ChainStep{Func: cur.FullName(), Pos: e.fset.Position(ri.pos), What: what})
+		cur = ri.via
+	}
+	return steps
+}
+
+// reqChainSummary is the compact one-line form: "serve.(*Service).Watch
+// → serve.(*Service).viewLocked → read of serve.job.state".
+func (e *concEngine) reqChainSummary(fn *types.Func, key guardKey) string {
+	parts := []string{fn.FullName()}
+	for cur := fn; len(parts) < maxChainLen; {
+		ri := e.requires[cur][key]
+		if ri == nil {
+			break
+		}
+		if ri.via == nil {
+			parts = append(parts, ri.what)
+			break
+		}
+		parts = append(parts, ri.via.FullName())
+		cur = ri.via
+	}
+	return strings.Join(parts, " → ")
+}
+
+// reportGoLeak flags go statements with no visible termination path.
+func (e *concEngine) reportGoLeak(rule Rule) []Diagnostic {
+	var out []Diagnostic
+	for _, n := range e.graph.order {
+		sum := e.sums[n.fn]
+		if sum == nil || n.pkg == nil || !rule.Applies(n.pkg.ImportPath) {
+			continue
+		}
+		idx := e.markers[n.pkg]
+		for _, g := range sum.goSites {
+			if e.goSiteSupervised(g) || idx.allows(e.fset, "bgok", g.pos) {
+				continue
+			}
+			out = append(out, Diagnostic{
+				Analyzer: rule.Analyzer.Name,
+				Pos:      e.fset.Position(g.pos),
+				Message: "goroutine has no visible termination path (no context or stop channel reaches it, " +
+					"and no awaited WaitGroup tracks it); tie its lifetime to one, or annotate deliberate " +
+					"fire-and-forget with //bce:bgok",
+			})
+		}
+	}
+	return out
+}
+
+// goSiteSupervised reports whether a go statement has a visible
+// termination path: a lifeline argument or identifier, a channel signal
+// in the spawned body, an awaited WaitGroup, or a (transitively)
+// terminating callee.
+func (e *concEngine) goSiteSupervised(g goSite) bool {
+	if g.lifeline || g.chanSig {
+		return true
+	}
+	for _, wg := range g.wgs {
+		if e.awaitedWGs[wg] {
+			return true
+		}
+	}
+	if g.named != nil && e.terminates[g.named] {
+		return true
+	}
+	for _, callee := range g.callees {
+		if e.terminates[callee] {
+			return true
+		}
+	}
+	return false
+}
+
+// lockEdge is one lock-order edge: while holding from, fn (at pos)
+// acquires to — directly, or by calling via, which acquires it
+// transitively.
+type lockEdge struct {
+	from, to lockID // typeKeys
+	fn       *types.Func
+	pkg      *Package
+	pos      token.Pos
+	via      *types.Func
+}
+
+// reportLockOrder builds the module-wide lock-order graph and reports
+// every cycle — a potential deadlock — exactly once, with the
+// acquisition chains of each edge as evidence.
+func (e *concEngine) reportLockOrder(rule Rule) []Diagnostic {
+	edges := e.lockEdges()
+
+	// Strongly connected components of the lock graph: every cycle —
+	// including a self-loop (reacquiring a held lock) — lives inside
+	// one, and one diagnostic per component reports each deadlock
+	// exactly once however many edges participate.
+	adj := make(map[lockID][]lockID)
+	for _, edge := range edges {
+		adj[edge.from] = append(adj[edge.from], edge.to)
+	}
+	comps := lockSCCs(adj)
+
+	var out []Diagnostic
+	for _, comp := range comps {
+		inComp := make(map[lockID]bool, len(comp))
+		for _, id := range comp {
+			inComp[id] = true
+		}
+		// Representative edge per ordered pair inside the component,
+		// first occurrence (deterministic order) wins.
+		type pair struct{ from, to lockID }
+		seen := make(map[pair]bool)
+		var cycle []lockEdge
+		selfLoop := false
+		for _, edge := range edges {
+			if !inComp[edge.from] || !inComp[edge.to] {
+				continue
+			}
+			if edge.from == edge.to {
+				selfLoop = true
+			}
+			p := pair{edge.from, edge.to}
+			if seen[p] {
+				continue
+			}
+			seen[p] = true
+			cycle = append(cycle, edge)
+		}
+		if len(comp) == 1 && !selfLoop {
+			continue // a single lock with no self-edge is not a cycle
+		}
+		if len(cycle) == 0 {
+			continue
+		}
+		// Position the diagnostic at the first in-scope edge.
+		var at *lockEdge
+		for i := range cycle {
+			if cycle[i].pkg != nil && rule.Applies(cycle[i].pkg.ImportPath) {
+				at = &cycle[i]
+				break
+			}
+		}
+		if at == nil {
+			continue
+		}
+		var parts []string
+		var chain []ChainStep
+		for _, edge := range cycle {
+			parts = append(parts, e.edgeSummary(edge))
+			chain = append(chain, e.edgeChain(edge)...)
+		}
+		out = append(out, Diagnostic{
+			Analyzer: rule.Analyzer.Name,
+			Pos:      e.fset.Position(at.pos),
+			Message:  "lock-order cycle (potential deadlock): " + strings.Join(parts, "; "),
+			Chain:    chain,
+		})
+	}
+	return out
+}
+
+// lockEdges collects every lock-order edge in deterministic order:
+// direct acquisitions made while holding another lock, and call sites
+// whose callee transitively acquires one.
+func (e *concEngine) lockEdges() []lockEdge {
+	var edges []lockEdge
+	for _, n := range e.graph.order {
+		sum := e.sums[n.fn]
+		if sum == nil {
+			continue
+		}
+		for _, acq := range sum.acqs {
+			to := acq.id.typeKey()
+			for _, h := range acq.held.sorted() {
+				from := h.typeKey()
+				if from == to && h.root != nil && acq.id.root != nil && h.root != acq.id.root {
+					continue // provably distinct instances of the same field
+				}
+				edges = append(edges, lockEdge{from: from, to: to, fn: n.fn, pkg: n.pkg, pos: acq.pos})
+			}
+		}
+		for _, c := range sum.calls {
+			from := e.acquires[c.callee]
+			if len(from) == 0 || len(c.held) == 0 {
+				continue
+			}
+			for _, to := range sortedLockKeys(from) {
+				for _, h := range c.held.sorted() {
+					edges = append(edges, lockEdge{from: h.typeKey(), to: to, fn: n.fn, pkg: n.pkg, pos: c.pos, via: c.callee})
+				}
+			}
+		}
+	}
+	return edges
+}
+
+// edgeSummary renders one edge for the cycle message.
+func (e *concEngine) edgeSummary(edge lockEdge) string {
+	if edge.from == edge.to {
+		if edge.via != nil {
+			return fmt.Sprintf("%s calls %s, which reacquires the held %s",
+				edge.fn.FullName(), edge.via.FullName(), edge.to.display())
+		}
+		return fmt.Sprintf("%s reacquires the held %s", edge.fn.FullName(), edge.to.display())
+	}
+	s := fmt.Sprintf("%s acquires %s while holding %s", edge.fn.FullName(), edge.to.display(), edge.from.display())
+	if edge.via != nil {
+		s += " via " + edge.via.FullName()
+	}
+	return s
+}
+
+// edgeChain renders one edge's acquisition chain: the witness function
+// and, when the acquisition happens inside a callee, the hops down to
+// the raw Lock.
+func (e *concEngine) edgeChain(edge lockEdge) []ChainStep {
+	what := fmt.Sprintf("acquires %s while holding %s", edge.to.display(), edge.from.display())
+	if edge.via != nil {
+		what = fmt.Sprintf("calls %s while holding %s", edge.via.FullName(), edge.from.display())
+	}
+	steps := []ChainStep{{Func: edge.fn.FullName(), Pos: e.fset.Position(edge.pos), What: what}}
+	for cur := edge.via; cur != nil && len(steps) < maxChainLen; {
+		ai := e.acquires[cur][edge.to]
+		if ai == nil {
+			break
+		}
+		what := "acquires " + edge.to.display()
+		if ai.via != nil {
+			what = "calls " + ai.via.FullName()
+		}
+		steps = append(steps, ChainStep{Func: cur.FullName(), Pos: e.fset.Position(ai.pos), What: what})
+		cur = ai.via
+	}
+	return steps
+}
+
+// lockSCCs is Tarjan's algorithm over the lock graph, emitting
+// components deterministically (roots visited in sorted order).
+func lockSCCs(adj map[lockID][]lockID) [][]lockID {
+	nodes := make(map[lockID]bool)
+	for from, tos := range adj {
+		nodes[from] = true
+		for _, to := range tos {
+			nodes[to] = true
+		}
+	}
+	order := make([]lockID, 0, len(nodes))
+	for id := range nodes {
+		order = append(order, id)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].sortKey() < order[j].sortKey() })
+	for _, tos := range adj {
+		sort.Slice(tos, func(i, j int) bool { return tos[i].sortKey() < tos[j].sortKey() })
+	}
+
+	index := make(map[lockID]int, len(nodes))
+	low := make(map[lockID]int, len(nodes))
+	onStack := make(map[lockID]bool, len(nodes))
+	var stack []lockID
+	var comps [][]lockID
+	next := 0
+
+	var strongConnect func(n lockID)
+	strongConnect = func(n lockID) {
+		index[n] = next
+		low[n] = next
+		next++
+		stack = append(stack, n)
+		onStack[n] = true
+		for _, w := range adj[n] {
+			if _, seen := index[w]; !seen {
+				strongConnect(w)
+				if low[w] < low[n] {
+					low[n] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[n] {
+				low[n] = index[w]
+			}
+		}
+		if low[n] == index[n] {
+			var comp []lockID
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == n {
+					break
+				}
+			}
+			comps = append(comps, comp)
+		}
+	}
+	for _, n := range order {
+		if _, seen := index[n]; !seen {
+			strongConnect(n)
+		}
+	}
+	return comps
+}
+
+// sortedGuardKeys orders a requirement map deterministically.
+func sortedGuardKeys(m map[guardKey]*reqInfo) []guardKey {
+	keys := make([]guardKey, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		ki, kj := keys[i], keys[j]
+		if ki.lock.sortKey() != kj.lock.sortKey() {
+			return ki.lock.sortKey() < kj.lock.sortKey()
+		}
+		return !ki.write && kj.write
+	})
+	return keys
+}
+
+// sortedLockKeys orders an acquisition map deterministically.
+func sortedLockKeys(m map[lockID]*acqInfo) []lockID {
+	keys := make([]lockID, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].sortKey() < keys[j].sortKey() })
+	return keys
+}

@@ -1,0 +1,28 @@
+package analyzers
+
+// GoLeak flags go statements in library packages that have no visible
+// termination path. A spawned goroutine is considered supervised when
+// any of these hold:
+//
+//   - the go statement passes a context.Context or a receivable
+//     channel to the callee (a caller-provided lifeline);
+//   - the spawned closure itself receives from, selects on, or ranges
+//     over a channel, or references a context;
+//   - the goroutine calls Done on a sync.WaitGroup that some function
+//     in the module awaits with Wait;
+//   - the named callee (or a function the closure calls) has a
+//     "terminates" fact: a context/channel parameter or a channel
+//     signal in its body, propagated interprocedurally.
+//
+// Anything else is a fire-and-forget goroutine that outlives its
+// spawner silently — the serve/runner worker-leak bug class.
+// Deliberate fire-and-forget is annotated //bce:bgok.
+//
+// All reporting happens in the module-wide concurrency engine
+// (concurrency.go); the per-package pass is empty.
+var GoLeak = &Analyzer{
+	Name: "goleak",
+	Doc: "every go statement needs a visible termination path — a context, a stop channel, " +
+		"or an awaited WaitGroup (//bce:bgok to allow)",
+	Run: func(*Pass) error { return nil },
+}

@@ -1,0 +1,24 @@
+package analyzers
+
+// GuardedBy enforces //bce:guardedby annotations: a struct field
+// annotated `//bce:guardedby mu` may only be read or written while mu
+// is held. The held-lock set is tracked through each function body
+// (Lock/Unlock/RLock/RUnlock, including deferred unlocks), and
+// "requires mu held" facts propagate interprocedurally so a helper
+// that touches the field is checked at every call site: callers that
+// hold the lock discharge the requirement, and the violation surfaces
+// at root functions (exported, or called by nobody in the module) with
+// the witness chain down to the raw access. RWMutex read locks satisfy
+// reads only; writes need the exclusive lock. The analysis is
+// path-insensitive and collapses lock instances by owning type — see
+// DESIGN.md §10.2. A checked invariant (e.g. access before any
+// goroutine exists) is annotated //bce:lockok.
+//
+// All reporting happens in the module-wide concurrency engine
+// (concurrency.go); the per-package pass is empty.
+var GuardedBy = &Analyzer{
+	Name: "guardedby",
+	Doc: "fields annotated //bce:guardedby <mu> may only be accessed with the lock held, " +
+		"checked interprocedurally with witness chains (//bce:lockok to allow)",
+	Run: func(*Pass) error { return nil },
+}

@@ -1,0 +1,24 @@
+package analyzers
+
+// LockOrder records per-function lock-acquisition facts — "f may
+// acquire L", propagated through calls — and builds the module-wide
+// lock-order graph: an edge A→B whenever some function acquires B
+// (directly or via a callee) while holding A. Any cycle in that graph
+// is a potential deadlock: two goroutines entering the cycle from
+// different edges can each hold the lock the other wants. Each cycle
+// is reported exactly once, with one representative edge per ordered
+// pair and the acquisition chains as evidence; a self-edge (calling a
+// method that reacquires a lock the caller already holds) is the
+// reentrant-deadlock special case, since sync.Mutex is not reentrant.
+// Lock identity is collapsed by owning type, except that two provably
+// distinct instances (different root variables) of the same field do
+// not form a self-edge — see DESIGN.md §10.2.
+//
+// All reporting happens in the module-wide concurrency engine
+// (concurrency.go); the per-package pass is empty.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc: "the module-wide lock-order graph must be acyclic; cycles are potential deadlocks, " +
+		"reported with both acquisition chains",
+	Run: func(*Pass) error { return nil },
+}

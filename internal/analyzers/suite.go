@@ -44,7 +44,8 @@ func seedDerivePackages(path string) bool {
 	return path != "bce/internal/runner" && path != "bce/internal/stats"
 }
 
-// Suite returns the determinism rules bcelint and CI enforce.
+// Suite returns the determinism and concurrency rules bcelint and CI
+// enforce.
 func Suite() []Rule {
 	return []Rule{
 		{NoWallTime, libraryPackage},
@@ -53,6 +54,9 @@ func Suite() []Rule {
 		{CtxPass, libraryPackage},
 		{SeedDerive, seedDerivePackages},
 		{ErrDrop, libraryPackage},
+		{GuardedBy, libraryPackage},
+		{GoLeak, libraryPackage},
+		{LockOrder, libraryPackage},
 	}
 }
 
@@ -89,6 +93,9 @@ func RunRules(pkgs []*Package, rules []Rule) ([]Diagnostic, error) {
 	}
 	graph := buildCallGraph(pkgs)
 	all = append(all, computeFacts(pkgs, graph).report(rules)...)
+	if concurrencyRules(rules) {
+		all = append(all, computeConcurrency(pkgs, graph).report(rules)...)
+	}
 	sortDiagnostics(all)
 	return all, nil
 }

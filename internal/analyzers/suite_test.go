@@ -33,8 +33,8 @@ func TestSuiteScope(t *testing.T) {
 	for _, r := range analyzers.Suite() {
 		rules[r.Analyzer.Name] = r.Applies
 	}
-	if len(rules) != 6 {
-		t.Fatalf("suite has %d rules, want 6", len(rules))
+	if len(rules) != 9 {
+		t.Fatalf("suite has %d rules, want 9", len(rules))
 	}
 	cases := []struct {
 		analyzer string
@@ -62,6 +62,12 @@ func TestSuiteScope(t *testing.T) {
 		{"errdrop", "bce/internal/population", true},
 		{"errdrop", "bce/cmd/bcectl", false},
 		{"errdrop", "bce/examples/quickstart", false},
+		{"guardedby", "bce/internal/serve", true},
+		{"guardedby", "bce/cmd/bcectl", false},
+		{"goleak", "bce/internal/runner", true},
+		{"goleak", "bce/cmd/bceweb", false},
+		{"lockorder", "bce/internal/serve", true},
+		{"lockorder", "bce/examples/quickstart", false},
 	}
 	for _, c := range cases {
 		if got := rules[c.analyzer](c.path); got != c.want {

@@ -1,0 +1,96 @@
+// Package bg exercises the goleak analyzer: goroutines with and
+// without visible termination paths — lifeline arguments, channel
+// signals in the spawned body, awaited WaitGroups, interprocedural
+// terminates facts, and the //bce:bgok escape.
+package bg
+
+import (
+	"context"
+	"sync"
+)
+
+// Leak spawns work with no termination path at all.
+func Leak(work func()) {
+	go work() // want `goroutine has no visible termination path`
+}
+
+// OKCtx hands the goroutine a context — a caller-provided lifeline.
+func OKCtx(ctx context.Context, work func(context.Context)) {
+	go work(ctx)
+}
+
+// OKClosureCtx's closure waits on the context itself.
+func OKClosureCtx(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// OKStopChan's closure selects on a stop channel.
+func OKStopChan(stop chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+}
+
+func spin() {}
+
+// OKWaitGroup tracks its goroutines with an awaited WaitGroup.
+func OKWaitGroup(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			spin()
+		}()
+	}
+	wg.Wait()
+}
+
+// LeakUntracked uses a WaitGroup nothing ever waits on.
+func LeakUntracked(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() { // want `goroutine has no visible termination path`
+			defer wg.Done()
+			spin()
+		}()
+	}
+}
+
+// Server's run loop terminates two calls deep: Start spawns serveOne,
+// serveOne calls loop, and loop selects on the quit channel — a
+// terminates fact propagated through the call graph.
+type Server struct {
+	quit chan struct{}
+}
+
+func (s *Server) loop() {
+	for {
+		select {
+		case <-s.quit:
+			return
+		}
+	}
+}
+
+func (s *Server) serveOne() {
+	s.loop()
+}
+
+func (s *Server) Start() {
+	go s.serveOne()
+}
+
+// FireAndForget is deliberate: best-effort, process-lifetime work.
+func FireAndForget(f func()) {
+	go f() //bce:bgok best-effort, process-lifetime
+}

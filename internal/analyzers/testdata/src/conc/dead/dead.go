@@ -1,0 +1,50 @@
+// Package dead exercises the lockorder analyzer: an A→B / B→A cycle
+// (the B→A half hidden behind a helper call) reported exactly once
+// with both acquisition chains, and a reentrant self-cycle through a
+// method call.
+package dead
+
+import "sync"
+
+var (
+	amu sync.Mutex
+	bmu sync.Mutex
+)
+
+// AB takes the locks in A→B order.
+func AB() {
+	amu.Lock()
+	defer amu.Unlock()
+	bmu.Lock() // want `lock-order cycle \(potential deadlock\): conc/dead\.AB acquires dead\.bmu while holding dead\.amu; conc/dead\.BA acquires dead\.amu while holding dead\.bmu via conc/dead\.grabA`
+	defer bmu.Unlock()
+}
+
+// BA takes B, then A through a helper — the interprocedural half of
+// the cycle.
+func BA() {
+	bmu.Lock()
+	defer bmu.Unlock()
+	grabA()
+}
+
+func grabA() {
+	amu.Lock()
+	defer amu.Unlock()
+}
+
+// R's methods are not reentrant: Outer holds r.mu across a call into
+// inner, which reacquires it — guaranteed self-deadlock.
+type R struct {
+	mu sync.Mutex
+}
+
+func (r *R) inner() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+}
+
+func (r *R) Outer() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.inner() // want `lock-order cycle \(potential deadlock\): .*Outer calls .*inner, which reacquires the held dead\.R\.mu`
+}

@@ -1,0 +1,3 @@
+module conc
+
+go 1.22

@@ -1,0 +1,108 @@
+// Package store exercises the guardedby analyzer: annotated fields,
+// held-lock tracking through defer, RWMutex read/write strength,
+// helpers discharged at locked call sites, and cross-function
+// requirement propagation with witness chains.
+package store
+
+import "sync"
+
+type Store struct {
+	mu    sync.Mutex
+	count int //bce:guardedby mu
+}
+
+func (s *Store) Inc() {
+	s.mu.Lock()
+	s.count++
+	s.mu.Unlock()
+}
+
+func (s *Store) Get() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.count
+}
+
+func (s *Store) Reset() {
+	s.count = 0 // want `write of store\.Store\.count without holding store\.Store\.mu`
+}
+
+// NewStore pre-seeds a Store; nothing else can see it yet.
+func NewStore(n int) *Store {
+	s := &Store{}
+	s.count = n //bce:lockok construction precedes publication
+	return s
+}
+
+// bump adds n to the counter; callers hold s.mu.
+func (s *Store) bump(n int) {
+	s.count += n
+}
+
+// Add discharges bump's lock requirement.
+func (s *Store) Add(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.bump(n)
+}
+
+// AddRacy imports bump's requirement without discharging it: the
+// violation surfaces here, at the root, with the chain down to the
+// raw write.
+func (s *Store) AddRacy(n int) {
+	s.bump(n) // want `call into .*bump needs store\.Store\.mu held \(.*AddRacy → .*bump → write of store\.Store\.count\)`
+}
+
+type Gauge struct {
+	mu  sync.RWMutex
+	val int //bce:guardedby mu
+}
+
+func (g *Gauge) Read() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.val
+}
+
+// BadWrite holds only the read lock across a write.
+func (g *Gauge) BadWrite(v int) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	g.val = v // want `write of store\.Gauge\.val without holding store\.Gauge\.mu`
+}
+
+func (g *Gauge) Set(v int) {
+	g.mu.Lock()
+	g.val = v
+	g.mu.Unlock()
+}
+
+// Registry demonstrates the qualified Type.field form: entry records
+// are owned — and locked — by the containing Registry.
+type Registry struct {
+	mu      sync.Mutex
+	entries map[string]*entry //bce:guardedby mu
+}
+
+type entry struct {
+	hits int //bce:guardedby Registry.mu
+}
+
+func (r *Registry) Hit(k string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.entries[k]; ok {
+		e.hits++
+	}
+}
+
+func (r *Registry) Peek(k string) int {
+	if e, ok := r.entries[k]; ok { // want `read of store\.Registry\.entries without holding store\.Registry\.mu`
+		return e.hits // want `read of store\.entry\.hits without holding store\.Registry\.mu`
+	}
+	return 0
+}
+
+type broken struct {
+	n int //bce:guardedby nosuch // want `no sibling field or package-level variable`
+}

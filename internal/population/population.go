@@ -20,6 +20,14 @@
 // float64 encoding round-trips exactly), so a run killed at a batch
 // boundary and resumed reports aggregates bit-identical to an
 // uninterrupted run.
+//
+// Concurrency: this package is single-goroutine by design and owns no
+// locks — parallelism lives entirely in runner.Batch, and every fold
+// into the aggregates happens on the caller's goroutine after the
+// batch returns. There are therefore no //bce:guardedby annotations
+// here: no field is ever shared between goroutines (the concurrency
+// analyzers, DESIGN.md §10.2, verify the absence of go statements and
+// sync primitives rather than a locking discipline).
 package population
 
 import (

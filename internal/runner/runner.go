@@ -219,16 +219,7 @@ func Batch(ctx context.Context, specs []Spec, opts ...Option) ([]RunResult, erro
 		results[i] = RunResult{Index: i, Label: specs[i].Label}
 	}
 
-	start := time.Now() //bce:wallclock progress reporting shows real elapsed time
-	var mu sync.Mutex
-	prog := Progress{Total: len(specs)}
-	emit := func() { // callers hold mu
-		if o.Progress != nil {
-			p := prog
-			p.Elapsed = time.Since(start) //bce:wallclock
-			o.Progress(p)
-		}
-	}
+	tracker := newProgressTracker(len(specs), o.Progress)
 
 	bctx, cancel := context.WithCancelCause(ctx)
 	defer cancel(nil)
@@ -243,24 +234,14 @@ func Batch(ctx context.Context, specs []Spec, opts ...Option) ([]RunResult, erro
 			defer wg.Done()
 			for i := range indices {
 				sp := specs[i]
-				mu.Lock()
-				prog.Started++
-				emit()
-				mu.Unlock()
+				tracker.started()
 
 				res, err := runSpec(bctx, sp)
 
-				mu.Lock()
+				// Disjoint indices per run, published by wg.Wait —
+				// results needs no lock.
 				results[i].Result, results[i].Err = res, err
-				prog.Done++
-				if err != nil {
-					prog.Failed++
-				}
-				if res != nil {
-					prog.Events += res.Events
-				}
-				emit()
-				mu.Unlock()
+				tracker.finished(res, err)
 
 				if err != nil && o.FailFast {
 					failOnce.Do(func() {
@@ -300,6 +281,56 @@ feed:
 		return results, failErr
 	}
 	return results, nil
+}
+
+// progressTracker owns the batch's shared progress counters: the
+// worker pool reports transitions through it, and it serializes the
+// user's Progress callback (Options.Progress promises calls are never
+// concurrent).
+type progressTracker struct {
+	callback func(Progress)
+	start    time.Time
+
+	mu   sync.Mutex
+	prog Progress //bce:guardedby mu
+}
+
+func newProgressTracker(total int, callback func(Progress)) *progressTracker {
+	return &progressTracker{
+		callback: callback,
+		start:    time.Now(), //bce:wallclock progress reporting shows real elapsed time
+		prog:     Progress{Total: total},
+	}
+}
+
+func (t *progressTracker) started() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.prog.Started++
+	t.emitLocked()
+}
+
+func (t *progressTracker) finished(res *client.Result, err error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.prog.Done++
+	if err != nil {
+		t.prog.Failed++
+	}
+	if res != nil {
+		t.prog.Events += res.Events
+	}
+	t.emitLocked()
+}
+
+// emitLocked snapshots the counters for the callback; callers hold mu.
+func (t *progressTracker) emitLocked() {
+	if t.callback == nil {
+		return
+	}
+	p := t.prog
+	p.Elapsed = time.Since(t.start) //bce:wallclock see newProgressTracker
+	t.callback(p)
 }
 
 // runSpec executes one spec: fresh config, fresh client, panic

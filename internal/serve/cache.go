@@ -6,9 +6,9 @@ import "container/list"
 // to *Outcome. It is not safe for concurrent use; the Service guards
 // it with its mutex.
 type lru struct {
-	cap   int
-	ll    *list.List // front = most recently used
-	items map[string]*list.Element
+	cap   int                      // immutable after newLRU
+	ll    *list.List               //bce:guardedby Service.mu — front = most recently used
+	items map[string]*list.Element //bce:guardedby Service.mu
 }
 
 type lruEntry struct {
@@ -46,5 +46,6 @@ func (c *lru) put(key string, out *Outcome) {
 	}
 }
 
-// len reports the number of cached outcomes.
-func (c *lru) len() int { return c.ll.Len() }
+// len reports the number of cached outcomes. Only tests call it, on an
+// lru no other goroutine can reach.
+func (c *lru) len() int { return c.ll.Len() } //bce:lockok test-only accessor on an unshared lru

@@ -160,19 +160,21 @@ type JobView struct {
 	QueuePos int `json:"queue_pos,omitempty"`
 }
 
-// job is the service-internal record.
+// job is the service-internal record. id/fp/req/seq are immutable
+// after creation (runJob reads them without the lock); everything
+// mutable is guarded by the owning Service's mutex.
 type job struct {
 	id       string
 	fp       string
 	req      Request
-	state    State
-	err      string
-	cacheHit bool
-	done     int // study progress
-	total    int
-	outcome  *Outcome
-	watchers []chan Event
-	seq      int // admission order, for queue-position estimates
+	state    State        //bce:guardedby Service.mu
+	err      string       //bce:guardedby Service.mu
+	cacheHit bool         //bce:guardedby Service.mu
+	done     int          //bce:guardedby Service.mu — study progress
+	total    int          //bce:guardedby Service.mu
+	outcome  *Outcome     //bce:guardedby Service.mu
+	watchers []chan Event //bce:guardedby Service.mu
+	seq      int          // admission order, for queue-position estimates
 }
 
 // Config sizes the service. The zero value selects all defaults.
@@ -226,17 +228,17 @@ type Service struct {
 	workers int
 
 	mu      sync.Mutex
-	jobs    map[string]*job
-	order   []string        // job IDs in admission order, for MaxJobs eviction
-	byFP    map[string]*job // live (queued/running) jobs for dedup
-	cache   *lru
-	queue   chan *job
-	started bool
-	nextSeq int
-	stats   Stats
+	jobs    map[string]*job //bce:guardedby mu
+	order   []string        //bce:guardedby mu — job IDs in admission order, for MaxJobs eviction
+	byFP    map[string]*job //bce:guardedby mu — live (queued/running) jobs for dedup
+	cache   *lru            //bce:guardedby mu
+	queue   chan *job       // channel ops synchronize themselves
+	started bool            //bce:guardedby mu
+	nextSeq int             //bce:guardedby mu
+	stats   Stats           //bce:guardedby mu
 	// emaRunSecs is an exponential moving average of recent execution
 	// wall times, the basis of RetryAfter estimates.
-	emaRunSecs float64
+	emaRunSecs float64 //bce:guardedby mu
 
 	syncSlots chan struct{} // fast-path semaphore, sized like the pool
 	wg        sync.WaitGroup
@@ -269,7 +271,11 @@ func (s *Service) QueueCap() int { return s.cfg.QueueCap }
 
 // Start launches the worker pool under ctx: cancelling ctx stops the
 // workers (in-flight emulations stop at the next event-batch
-// boundary). Start is idempotent; Wait blocks until the pool exits.
+// boundary). Once the pool has exited, jobs still sitting in the queue
+// are failed and their watcher channels closed — without this, a
+// cancelled service would leave queued tickets StateQueued forever and
+// every subscribed watcher channel unclosed. Start is idempotent; Wait
+// blocks until the pool and the shutdown sweep have finished.
 func (s *Service) Start(ctx context.Context) {
 	s.mu.Lock()
 	if s.started {
@@ -278,12 +284,43 @@ func (s *Service) Start(ctx context.Context) {
 	}
 	s.started = true
 	s.mu.Unlock()
+	var workers sync.WaitGroup
 	for i := 0; i < s.workers; i++ {
+		workers.Add(1)
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
+			defer workers.Done()
 			s.worker(ctx)
 		}()
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		<-ctx.Done()
+		workers.Wait()
+		s.shutdown()
+	}()
+}
+
+// shutdown fails every job still queued after the workers have exited
+// and closes its watcher channels, then marks the service stopped so
+// later Submits shed with ErrNotStarted instead of enqueueing work
+// nothing will run.
+func (s *Service) shutdown() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.started = false
+	for {
+		select {
+		case j := <-s.queue:
+			delete(s.byFP, j.fp)
+			j.state = StateFailed
+			j.err = "serve: service stopped before the job ran"
+			s.notifyLocked(j)
+		default:
+			return
+		}
 	}
 }
 

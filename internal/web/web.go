@@ -57,7 +57,7 @@ type Server struct {
 	Svc *serve.Service
 
 	mu    sync.Mutex
-	saved int
+	saved int //bce:guardedby mu
 }
 
 // DefaultRunTimeout bounds one web-triggered emulation unless the
