@@ -6,6 +6,8 @@
 //	bcectl compare scenario.json           all policy combinations on one scenario
 //	bcectl sweep   scenario.json           sweep a scenario parameter
 //	bcectl study -n 1000                   streaming Monte-Carlo population study
+//	bcectl study -shards 4 ...             the same study across local worker processes
+//	bcectl study-coord / study-worker      distributed study across machines/processes
 //	bcectl bench run|compare|gate          performance ledger (internal/perf)
 //	bcectl loadgen -url http://host:8080   load-test a running bceweb
 //
@@ -110,7 +112,11 @@ func main() {
 	case "sweep":
 		err = runSweep(ctx, flag.Args()[1:], sl, *csv, *chart, rep, opts)
 	case "study":
-		err = runStudy(ctx, flag.Args()[1:], *progress, rep, opts)
+		err = runStudy(ctx, flag.Args()[1:], *progress, *workers, rep, opts)
+	case "study-coord":
+		err = runStudyCoord(ctx, flag.Args()[1:], *progress, rep)
+	case "study-worker":
+		err = runStudyWorker(ctx, flag.Args()[1:], *progress, opts)
 	case "bench":
 		err = runBench(flag.Args()[1:])
 	case "loadgen":
@@ -166,7 +172,16 @@ func usage() {
                                     rec_half_life, duration_days)
   bcectl [flags] study [study flags]
                                    streaming population study with
-                                   checkpoint/resume (study -h for flags)
+                                   checkpoint/resume (study -h for flags);
+                                   -shards N fans it out across N local
+                                   worker processes
+  bcectl study-coord -dir DIR      coordinator for a distributed study:
+                                   leases scenario shards to workers,
+                                   merges their aggregates
+  bcectl [flags] study-worker -coord URL -dir DIR
+                                   worker for a distributed study; kill
+                                   and restart with the same -name/-dir
+                                   to resume mid-shard
   bcectl bench [bench flags] run|compare|gate
                                    run the perf suite into a BENCH_*.json
                                    ledger, diff ledgers, or gate against

@@ -1,7 +1,9 @@
 // The study subcommand: a streaming Monte-Carlo population study
-// (paper §6.2) with checkpoint/resume. Unlike compare/sweep, which
-// keep every run's metrics, study folds each (scenario, policy) cell
-// into constant-size aggregates, so -n can be large.
+// (paper §6.2) with checkpoint/resume, optionally fanned out across
+// local worker processes (-shards N) through the fabric coordinator.
+// Unlike compare/sweep, which keep every run's metrics, study folds
+// each (scenario, policy) cell into constant-size aggregates, so -n
+// can be large.
 package main
 
 import (
@@ -17,20 +19,119 @@ import (
 	"bce/internal/scenario"
 )
 
-func runStudy(ctx context.Context, args []string, progress bool, rep *report.Report, opts []runner.Option) error {
+// popFlags is the population-defining flag set shared by study,
+// study-coord and the sharded fan-out: everything that changes *what*
+// is computed (as opposed to where and how fast).
+type popFlags struct {
+	n          *int
+	seed       *int64
+	days       *float64
+	batch      *int
+	every      *int
+	combosFlag *string
+	maxProj    *int
+	gpuFrac    *float64
+	sporFrac   *float64
+}
+
+func addPopFlags(fs *flag.FlagSet) *popFlags {
+	return &popFlags{
+		n:          fs.Int("n", 100, "number of scenarios to sample"),
+		seed:       fs.Int64("seed", 1, "base seed for the scenario population"),
+		days:       fs.Float64("days", 1, "emulated duration of each scenario, days"),
+		batch:      fs.Int("batch", 0, "scenarios per engine batch (0 = default)"),
+		every:      fs.Int("every", 1, "checkpoint every N batches"),
+		combosFlag: fs.String("combos", "", "comma-separated sched/fetch pairs (default: the paper's matrix)"),
+		maxProj:    fs.Int("max-projects", 0, "cap on projects per scenario (0 = default)"),
+		gpuFrac:    fs.Float64("gpu-frac", -1, "fraction of hosts with a GPU (-1 = default)"),
+		sporFrac:   fs.Float64("sporadic-frac", -1, "fraction of hosts with sporadic availability (-1 = default)"),
+	}
+}
+
+// params materializes the flag values (checkpoint wiring is the
+// caller's business).
+func (pf *popFlags) params() (population.Params, error) {
+	p := population.Params{
+		Scenarios: *pf.n,
+		Seed:      *pf.seed,
+		Population: scenario.PopulationParams{
+			DurationDays: *pf.days,
+			MaxProjects:  *pf.maxProj,
+		},
+		BatchSize:       *pf.batch,
+		CheckpointEvery: *pf.every,
+	}
+	if *pf.gpuFrac >= 0 {
+		p.Population.GPUFraction = scenario.Frac(*pf.gpuFrac)
+	}
+	if *pf.sporFrac >= 0 {
+		p.Population.SporadicFrac = scenario.Frac(*pf.sporFrac)
+	}
+	if *pf.combosFlag != "" {
+		combos, err := parseCombos(*pf.combosFlag)
+		if err != nil {
+			return population.Params{}, err
+		}
+		p.Combos = combos
+	}
+	return p, nil
+}
+
+// explicitFlags records which flags the user actually typed, so a
+// resume can tell "flag left at its default, adopt the checkpoint"
+// apart from "flag set to something the checkpoint contradicts".
+func explicitFlags(fs *flag.FlagSet) map[string]bool {
+	set := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	return set
+}
+
+// checkResumeFlags refuses a resume whose explicit flags disagree with
+// the checkpoint (seed, combos, population shape, or a shrunken -n):
+// folding new scenarios under changed parameters would silently mix
+// incompatible aggregates. Flags left at their defaults adopt the
+// checkpoint's values, as Resume always has.
+func checkResumeFlags(path string, p population.Params, explicit map[string]bool) error {
+	ck, err := population.LoadCheckpoint(path)
+	if err != nil {
+		return err
+	}
+	// Map between diff fields and the flags that control them; fields
+	// whose flag was not typed are not disagreements.
+	flagFor := map[string]string{
+		"seed": "seed", "combos": "combos", "days": "days",
+		"max-projects": "max-projects", "gpu-frac": "gpu-frac", "sporadic-frac": "sporadic-frac",
+	}
+	var kept []population.ParamDiff
+	for _, d := range population.DiffParams(ck, p) {
+		if name, ok := flagFor[d.Field]; ok && explicit[name] {
+			kept = append(kept, d)
+		}
+	}
+	if explicit["n"] && p.Scenarios < ck.Target {
+		kept = append(kept, population.ParamDiff{
+			Field: "n", Checkpoint: fmt.Sprint(ck.Target), Want: fmt.Sprint(p.Scenarios),
+		})
+	}
+	if len(kept) == 0 {
+		return nil
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "refusing to resume %s: flags disagree with the checkpoint:\n", path)
+	for _, d := range kept {
+		fmt.Fprintf(&b, "  %s\n", d)
+	}
+	b.WriteString("drop the conflicting flags to continue the checkpointed study, or start fresh without -resume")
+	return fmt.Errorf("%s", b.String())
+}
+
+func runStudy(ctx context.Context, args []string, progress bool, workers int, rep *report.Report, opts []runner.Option) error {
 	fs := flag.NewFlagSet("study", flag.ContinueOnError)
+	pf := addPopFlags(fs)
 	var (
-		n          = fs.Int("n", 100, "number of scenarios to sample")
-		seed       = fs.Int64("seed", 1, "base seed for the scenario population")
-		days       = fs.Float64("days", 1, "emulated duration of each scenario, days")
-		batch      = fs.Int("batch", 0, "scenarios per engine batch (0 = default)")
 		checkpoint = fs.String("checkpoint", "", "write an aggregate checkpoint to this file")
-		every      = fs.Int("every", 1, "checkpoint every N batches")
 		resume     = fs.String("resume", "", "resume from this checkpoint file (overrides population flags)")
-		combosFlag = fs.String("combos", "", "comma-separated sched/fetch pairs (default: the paper's matrix)")
-		maxProj    = fs.Int("max-projects", 0, "cap on projects per scenario (0 = default)")
-		gpuFrac    = fs.Float64("gpu-frac", -1, "fraction of hosts with a GPU (-1 = default)")
-		sporFrac   = fs.Float64("sporadic-frac", -1, "fraction of hosts with sporadic availability (-1 = default)")
+		shards     = fs.Int("shards", 0, "fan the study out across N local worker processes (needs -checkpoint)")
 	)
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: bcectl [flags] study [study flags]")
@@ -39,37 +140,21 @@ func runStudy(ctx context.Context, args []string, progress bool, rep *report.Rep
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	nSet := false
-	fs.Visit(func(f *flag.Flag) {
-		if f.Name == "n" {
-			nSet = true
-		}
-	})
+	explicit := explicitFlags(fs)
 
-	p := population.Params{
-		Scenarios: *n,
-		Seed:      *seed,
-		Population: scenario.PopulationParams{
-			DurationDays: *days,
-			MaxProjects:  *maxProj,
-		},
-		BatchSize:       *batch,
-		CheckpointPath:  *checkpoint,
-		CheckpointEvery: *every,
+	p, err := pf.params()
+	if err != nil {
+		return err
 	}
-	if *gpuFrac >= 0 {
-		p.Population.GPUFraction = scenario.Frac(*gpuFrac)
-	}
-	if *sporFrac >= 0 {
-		p.Population.SporadicFrac = scenario.Frac(*sporFrac)
-	}
-	if *combosFlag != "" {
-		combos, err := parseCombos(*combosFlag)
-		if err != nil {
-			return err
+	p.CheckpointPath = *checkpoint
+
+	if *shards > 1 {
+		if *resume != "" {
+			return fmt.Errorf("study -shards manages its own per-shard resume; rerun the same -shards command instead of -resume")
 		}
-		p.Combos = combos
+		return runShardedStudy(ctx, p, *shards, *checkpoint, progress, workers, rep)
 	}
+
 	if progress {
 		p.Progress = func(done, total int) {
 			fmt.Fprintf(os.Stderr, "\rstudy: %d/%d scenarios   ", done, total)
@@ -80,9 +165,11 @@ func runStudy(ctx context.Context, args []string, progress bool, rep *report.Rep
 	}
 
 	var st *population.Study
-	var err error
 	if *resume != "" {
-		if !nSet {
+		if err := checkResumeFlags(*resume, p, explicit); err != nil {
+			return err
+		}
+		if !explicit["n"] {
 			// Keep the checkpoint's own target: a bare -resume finishes
 			// the interrupted study; only an explicit -n extends it.
 			p.Scenarios = 0
@@ -102,7 +189,13 @@ func runStudy(ctx context.Context, args []string, progress bool, rep *report.Rep
 		}
 		return err
 	}
+	printStudy(st, rep)
+	return nil
+}
 
+// printStudy renders the finished study's tables (shared by the
+// single-process and sharded paths).
+func printStudy(st *population.Study, rep *report.Report) {
 	fmt.Printf("population study: %d scenarios, seed %d\n\n", st.Done, st.Seed)
 	fmt.Print(st.Table())
 	fmt.Println()
@@ -114,7 +207,6 @@ func runStudy(ctx context.Context, args []string, progress bool, rep *report.Rep
 	if rep != nil {
 		rep.AddPopulation(fmt.Sprintf("Population study (%d scenarios)", st.Done), st)
 	}
-	return nil
 }
 
 // parseCombos parses "JS-LOCAL/JF-ORIG,JS-WRR/JF-HYSTERESIS".

@@ -1,0 +1,129 @@
+package main
+
+import (
+	"context"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"bce/internal/client"
+	"bce/internal/metrics"
+	"bce/internal/population"
+	"bce/internal/runner"
+	"bce/internal/scenario"
+)
+
+// stubBatch fabricates deterministic per-cell metrics from the spec
+// label, so checkpoint fixtures build in microseconds.
+func stubBatch(ctx context.Context, specs []runner.Spec, opts ...runner.Option) ([]runner.RunResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	results := make([]runner.RunResult, len(specs))
+	for i, sp := range specs {
+		h := uint64(14695981039346656037)
+		for _, c := range []byte(sp.Label) {
+			h = (h ^ uint64(c)) * 1099511628211
+		}
+		var m metrics.Metrics
+		m.IdleFraction = float64(h%1000) / 1000
+		m.WastedFraction = float64((h>>10)%1000) / 1000
+		m.ShareViolation = float64((h>>20)%1000) / 1000
+		m.Monotony = float64((h>>30)%1000) / 1000
+		m.RPCsPerJob = float64((h>>40)%1000) / 1000
+		results[i] = runner.RunResult{Index: i, Label: sp.Label, Result: &client.Result{Metrics: m}}
+	}
+	return results, nil
+}
+
+// TestStudyResumeFlagValidation is the regression test for the resume
+// footgun: `study -resume` used to silently adopt the checkpoint while
+// the user's contradictory flags went ignored. Now explicit flags that
+// disagree with the checkpoint are refused with a diff.
+func TestStudyResumeFlagValidation(t *testing.T) {
+	ck := filepath.Join(t.TempDir(), "ck.json")
+	// A *completed* 6-scenario study: resuming it runs zero batches, so
+	// the success cases below never touch the real emulation engine.
+	p := population.Params{
+		Combos:         []population.Combo{{Sched: "JS-LOCAL", Fetch: "JF-ORIG"}, {Sched: "JS-WRR", Fetch: "JF-HYSTERESIS"}},
+		Scenarios:      6,
+		Seed:           42,
+		BatchSize:      3,
+		CheckpointPath: ck,
+		RunBatch:       stubBatch,
+		Population:     scenario.PopulationParams{DurationDays: 1},
+	}
+	if _, err := population.Run(context.Background(), p); err != nil {
+		t.Fatalf("building checkpoint fixture: %v", err)
+	}
+
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr []string // substrings; empty means success
+	}{
+		{
+			name:    "conflicting seed",
+			args:    []string{"-resume", ck, "-seed", "7"},
+			wantErr: []string{"refusing to resume", "seed: checkpoint has 42, flags say 7"},
+		},
+		{
+			name:    "shrunken n",
+			args:    []string{"-resume", ck, "-n", "3"},
+			wantErr: []string{"refusing to resume", "n: checkpoint has 6, flags say 3"},
+		},
+		{
+			name:    "conflicting days",
+			args:    []string{"-resume", ck, "-days", "2"},
+			wantErr: []string{"refusing to resume", "days"},
+		},
+		{
+			name:    "conflicting combos",
+			args:    []string{"-resume", ck, "-combos", "JS-LOCAL/JF-ORIG"},
+			wantErr: []string{"refusing to resume", "combos"},
+		},
+		{
+			name: "bare resume adopts the checkpoint",
+			args: []string{"-resume", ck},
+		},
+		{
+			name: "matching explicit flags",
+			args: []string{"-resume", ck, "-seed", "42", "-days", "1", "-n", "6"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := runStudy(context.Background(), tc.args, false, 1, nil, nil)
+			if len(tc.wantErr) == 0 {
+				if err != nil {
+					t.Fatalf("runStudy(%v) = %v, want success", tc.args, err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("runStudy(%v) succeeded, want refusal", tc.args)
+			}
+			for _, want := range tc.wantErr {
+				if !strings.Contains(err.Error(), want) {
+					t.Errorf("error %q missing %q", err, want)
+				}
+			}
+		})
+	}
+}
+
+// TestStudyShardsNeedsCheckpoint pins the -shards precondition.
+func TestStudyShardsNeedsCheckpoint(t *testing.T) {
+	err := runStudy(context.Background(), []string{"-n", "10", "-shards", "2"}, false, 1, nil, nil)
+	if err == nil || !strings.Contains(err.Error(), "-checkpoint") {
+		t.Fatalf("sharded study without -checkpoint: err = %v, want a -checkpoint complaint", err)
+	}
+}
+
+// TestStudyShardsRejectsResume pins the -shards/-resume conflict.
+func TestStudyShardsRejectsResume(t *testing.T) {
+	err := runStudy(context.Background(), []string{"-shards", "2", "-checkpoint", "x", "-resume", "y"}, false, 1, nil, nil)
+	if err == nil || !strings.Contains(err.Error(), "per-shard resume") {
+		t.Fatalf("sharded study with -resume: err = %v, want a conflict complaint", err)
+	}
+}

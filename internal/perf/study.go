@@ -1,0 +1,83 @@
+package perf
+
+import (
+	"context"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"bce/internal/fabric"
+	"bce/internal/population"
+	"bce/internal/scenario"
+)
+
+// StudySuite returns the distributed population-study benchmarks: the
+// fabric measured end to end, so coordinator/merge overhead shows up in
+// the same ledger trajectory as the kernel. Not part of the CI alloc
+// gate.
+func StudySuite() []Bench {
+	return []Bench{
+		{Name: "study_sharded", Doc: "sharded population study through the fabric: httptest coordinator, one worker folding 2 shards (8 tiny scenarios, 2 combos)", F: BenchStudySharded},
+	}
+}
+
+// shardedScenarios is the fixed per-iteration scenario count of the
+// study_sharded bench; the scen/s metric divides by it.
+const shardedScenarios = 8
+
+// BenchStudySharded measures a whole sharded study per iteration:
+// coordinator with a persistence dir behind a real HTTP server, one
+// worker leasing and folding both shards (checkpointing to disk as it
+// goes), shard reports, and the final merge. The scenarios are tiny
+// (0.02 emulated days), so the fabric's lease/report/checkpoint/merge
+// overhead is a visible share of the time rather than pure kernel
+// noise.
+func BenchStudySharded(b *testing.B) {
+	spec := fabric.Spec{
+		Seed: 7,
+		Combos: []population.Combo{
+			{Sched: "JS-LOCAL", Fetch: "JF-ORIG"},
+			{Sched: "JS-WRR", Fetch: "JF-HYSTERESIS"},
+		},
+		Population:      scenario.PopulationParams{DurationDays: 0.02},
+		Scenarios:       shardedScenarios,
+		Shards:          2,
+		CheckpointEvery: 2,
+	}
+	//bce:ctxshim a benchmark is a call-tree root; there is no caller context to thread
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		dir, err := os.MkdirTemp("", "bench-fabric-")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+
+		coord, err := fabric.NewCoordinator(spec, fabric.CoordinatorOptions{Dir: filepath.Join(dir, "coord")})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ts := httptest.NewServer(coord.Handler())
+		w := &fabric.Worker{Coord: ts.URL, Name: "bench-worker", Dir: filepath.Join(dir, "worker")}
+		if err := w.Run(ctx); err != nil {
+			b.Fatal(err)
+		}
+		st, err := coord.Result()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st.Done != shardedScenarios {
+			b.Fatalf("merged study folded %d scenarios, want %d", st.Done, shardedScenarios)
+		}
+		ts.Close()
+
+		b.StopTimer()
+		_ = os.RemoveAll(dir) //bce:errok best-effort temp cleanup outside the timed section
+		b.StartTimer()
+	}
+	b.ReportMetric(float64(shardedScenarios*b.N)/b.Elapsed().Seconds(), "scen/s")
+}

@@ -52,11 +52,13 @@ func FigureSuite() []Bench {
 
 // AllSuite returns every declared benchmark, hot paths first.
 func AllSuite() []Bench {
-	return append(append(HotSuite(), FigureSuite()...), ServeSuite()...)
+	all := append(HotSuite(), FigureSuite()...)
+	all = append(all, ServeSuite()...)
+	return append(all, StudySuite()...)
 }
 
-// Select resolves a suite spec: "hot", "figures", "serve", "all", or a
-// comma-separated list of benchmark names from AllSuite.
+// Select resolves a suite spec: "hot", "figures", "serve", "study",
+// "all", or a comma-separated list of benchmark names from AllSuite.
 func Select(spec string) ([]Bench, error) {
 	switch spec {
 	case "", "hot":
@@ -65,6 +67,8 @@ func Select(spec string) ([]Bench, error) {
 		return FigureSuite(), nil
 	case "serve":
 		return ServeSuite(), nil
+	case "study":
+		return StudySuite(), nil
 	case "all":
 		return AllSuite(), nil
 	}

@@ -8,18 +8,25 @@
 // RNG seeded with DeriveSeed(seed, i), so the population is a pure
 // function of the base seed), sharded across the runner worker pool in
 // bounded batches of (combo, scenario) cells, and folded into online
-// aggregates: a Welford mean/variance and a fixed-size P² quantile
-// sketch per (combo, figure of merit), plus paired per-scenario
-// win/loss counts for every combo pair. Memory is O(combos), not
-// O(scenarios) — nothing per-scenario is retained.
+// aggregates: an exact-sum mean/variance accumulator and a mergeable
+// log-bucket quantile sketch per (combo, figure of merit), plus paired
+// per-scenario win/loss counts for every combo pair. Memory is
+// O(combos), not O(scenarios) — nothing per-scenario is retained.
 //
 // Determinism: every cell's result is a pure function of (seed, i,
-// combo), and folding happens strictly in scenario order, so the final
-// aggregates are bit-identical for any worker count and any batch
-// size. Checkpoints serialize the exact aggregate state (Go's JSON
-// float64 encoding round-trips exactly), so a run killed at a batch
-// boundary and resumed reports aggregates bit-identical to an
-// uninterrupted run.
+// combo), and the aggregates are pure functions of the folded sample
+// multiset (exact sums and integer bucket counts, see internal/stats),
+// so the final aggregates are bit-identical for any worker count, any
+// batch size — and, via MergeStudies, any sharding of the scenario
+// range across processes. Checkpoints serialize the exact aggregate
+// state (Go's JSON float64 encoding round-trips exactly), so a run
+// killed at a batch boundary and resumed reports aggregates
+// bit-identical to an uninterrupted run.
+//
+// Sharding: a Study may cover a sub-range [Lo, Lo+Target) of a larger
+// population; shards of the same population (same seed, combos,
+// params) covering contiguous, non-overlapping ranges merge with
+// MergeStudies into the state a single process would have produced.
 //
 // Concurrency: this package is single-goroutine by design and owns no
 // locks — parallelism lives entirely in runner.Batch, and every fold
@@ -67,8 +74,11 @@ const NumMetrics = 5
 type Params struct {
 	// Combos is the policy matrix (DefaultCombos when empty).
 	Combos []Combo
-	// Scenarios is the total number of scenarios to evaluate.
+	// Scenarios is the number of scenarios to evaluate in this run.
 	Scenarios int
+	// Lo is the index of the first scenario; the run covers
+	// [Lo, Lo+Scenarios). Nonzero only for shards of a larger study.
+	Lo int
 	// Seed is the base seed: scenario i is sampled from an RNG seeded
 	// with DeriveSeed(Seed, i), independent of batching and workers.
 	Seed int64
@@ -97,9 +107,10 @@ type Params struct {
 	// number of scenarios completed and the target.
 	Progress func(done, total int)
 
-	// runBatch substitutes the execution engine in tests; nil means
-	// runner.Batch.
-	runBatch func(ctx context.Context, specs []runner.Spec, opts ...runner.Option) ([]runner.RunResult, error)
+	// RunBatch substitutes the execution engine; nil means
+	// runner.Batch. Exported so the fabric worker's tests (and the
+	// sharded CI smoke) can inject a deterministic stub engine.
+	RunBatch func(ctx context.Context, specs []runner.Spec, opts ...runner.Option) ([]runner.RunResult, error)
 }
 
 func (p Params) withDefaults() Params {
@@ -112,19 +123,33 @@ func (p Params) withDefaults() Params {
 	if p.CheckpointEvery <= 0 {
 		p.CheckpointEvery = 1
 	}
-	if p.runBatch == nil {
-		p.runBatch = runner.Batch
+	if p.RunBatch == nil {
+		p.RunBatch = runner.Batch
 	}
 	return p
 }
 
-// ComboAgg is the online aggregate state for one combo: a Welford
-// accumulator and a quantile sketch per figure of merit, plus the
-// failed-cell count. All state is serializable and resumes exactly.
+// ComboAgg is the online aggregate state for one combo: an exact-sum
+// mean/variance accumulator and a mergeable quantile sketch per figure
+// of merit, plus the failed-cell count. All state is serializable and
+// resumes exactly; aggregates from disjoint scenario ranges merge into
+// the state a single fold would have produced (see MergeStudies).
 type ComboAgg struct {
-	Failed int                              `json:"failed"`
-	Mean   [NumMetrics]stats.MeanState      `json:"mean"`
-	Quants [NumMetrics]stats.QuantileSketch `json:"quants"`
+	Failed int                             `json:"failed"`
+	Mean   [NumMetrics]stats.Mean          `json:"mean"`
+	Quants [NumMetrics]stats.MergingSketch `json:"quants"`
+}
+
+// merge folds o into a; the sketches must share an accuracy parameter.
+func (a *ComboAgg) merge(o *ComboAgg) error {
+	a.Failed += o.Failed
+	for m := 0; m < NumMetrics; m++ {
+		a.Mean[m].Merge(&o.Mean[m])
+		if err := a.Quants[m].Merge(&o.Quants[m]); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // PairAgg counts paired per-scenario outcomes between combos A and B
@@ -139,6 +164,19 @@ type PairAgg struct {
 	Ties  [NumMetrics]int `json:"ties"`
 }
 
+// Merge adds o's counts into p; both must describe the same combo pair.
+func (p *PairAgg) Merge(o PairAgg) error {
+	if p.A != o.A || p.B != o.B {
+		return fmt.Errorf("population: merging mismatched pairs (%d,%d) vs (%d,%d)", p.A, p.B, o.A, o.B)
+	}
+	for m := 0; m < NumMetrics; m++ {
+		p.AWins[m] += o.AWins[m]
+		p.BWins[m] += o.BWins[m]
+		p.Ties[m] += o.Ties[m]
+	}
+	return nil
+}
+
 // Study is both the running aggregate state and the final result; its
 // JSON encoding is the checkpoint format.
 type Study struct {
@@ -146,32 +184,38 @@ type Study struct {
 	Seed       int64                     `json:"seed"`
 	Population scenario.PopulationParams `json:"population"`
 	Combos     []Combo                   `json:"combos"`
+	// Lo is the index of the first scenario this study covers: the
+	// range is [Lo, Lo+Target). Zero for a whole-population study;
+	// nonzero for one shard of a sharded study.
+	Lo int `json:"lo,omitempty"`
 	// Target is the scenario count the run is heading for; Done is how
-	// many have been folded. A checkpoint with Done < Target is a run
-	// in flight (killed or still going); Resume picks up at Done.
+	// many have been folded (the next scenario index is Lo+Done). A
+	// checkpoint with Done < Target is a run in flight (killed or still
+	// going); Resume picks up at Done.
 	Target int        `json:"target"`
 	Done   int        `json:"done"`
 	Aggs   []ComboAgg `json:"aggs"`
 	Pairs  []PairAgg  `json:"pairs"`
 }
 
-// checkpointVersion guards the checkpoint format.
-const checkpointVersion = 1
+// CheckpointVersion guards the checkpoint format. Version 2 switched
+// the per-combo aggregates from Welford/P² state to exact-sum means
+// and mergeable sketches and added the shard range; version-1
+// checkpoints are rejected rather than misread.
+const CheckpointVersion = 2
 
-// newStudy builds the empty aggregate state for p.
+// newStudy builds the empty aggregate state for p. The zero
+// stats.Mean and stats.MergingSketch are ready to use, so only the
+// pair table needs populating.
 func newStudy(p Params) *Study {
 	st := &Study{
-		Version:    checkpointVersion,
+		Version:    CheckpointVersion,
 		Seed:       p.Seed,
 		Population: p.Population,
 		Combos:     append([]Combo(nil), p.Combos...),
+		Lo:         p.Lo,
 		Target:     p.Scenarios,
 		Aggs:       make([]ComboAgg, len(p.Combos)),
-	}
-	for c := range st.Aggs {
-		for m := 0; m < NumMetrics; m++ {
-			st.Aggs[c].Quants[m] = stats.NewQuantileSketch()
-		}
 	}
 	for a := 0; a < len(p.Combos); a++ {
 		for b := a + 1; b < len(p.Combos); b++ {
@@ -188,6 +232,9 @@ func Run(ctx context.Context, p Params, opts ...runner.Option) (*Study, error) {
 	p = p.withDefaults()
 	if p.Scenarios <= 0 {
 		return nil, fmt.Errorf("population: no scenarios requested")
+	}
+	if p.Lo < 0 {
+		return nil, fmt.Errorf("population: negative shard offset %d", p.Lo)
 	}
 	return run(ctx, newStudy(p), p, opts...)
 }
@@ -206,6 +253,7 @@ func Resume(ctx context.Context, path string, p Params, opts ...runner.Option) (
 	p.Seed = st.Seed
 	p.Combos = st.Combos
 	p.Population = st.Population
+	p.Lo = st.Lo
 	if p.CheckpointPath == "" {
 		p.CheckpointPath = path
 	}
@@ -217,22 +265,22 @@ func Resume(ctx context.Context, path string, p Params, opts ...runner.Option) (
 }
 
 // run drives the batched sample → emulate → fold loop from st.Done to
-// st.Target.
+// st.Target (absolute scenario indices st.Lo+st.Done to st.Lo+st.Target).
 func run(ctx context.Context, st *Study, p Params, opts ...runner.Option) (*Study, error) {
 	sinceCheckpoint := 0
 	checkpoint := func() error {
 		if p.CheckpointPath == "" {
 			return nil
 		}
-		return writeCheckpoint(p.CheckpointPath, st)
+		return SaveCheckpoint(p.CheckpointPath, st)
 	}
 	for st.Done < st.Target {
-		lo, hi := st.Done, st.Done+p.BatchSize
-		if hi > st.Target {
-			hi = st.Target
+		lo, hi := st.Lo+st.Done, st.Lo+st.Done+p.BatchSize
+		if hi > st.Lo+st.Target {
+			hi = st.Lo + st.Target
 		}
 		specs, errs := batchSpecs(p, lo, hi)
-		results, err := p.runBatch(ctx, specs, opts...)
+		results, err := p.RunBatch(ctx, specs, opts...)
 		if err != nil {
 			// Canceled (or failed fast) mid-batch: persist the folded
 			// prefix so the run can resume exactly where it stopped.
@@ -347,15 +395,14 @@ func foldBatch(st *Study, p Params, lo, hi int, specs []runner.Spec, errs []erro
 // foldScenario folds one scenario's per-combo values.
 func foldScenario(st *Study, vals [][NumMetrics]float64, failed []bool) {
 	for c := range st.Aggs {
+		ag := &st.Aggs[c]
 		if failed[c] {
-			st.Aggs[c].Failed++
+			ag.Failed++
 			continue
 		}
 		for m := 0; m < NumMetrics; m++ {
-			mean := stats.MeanFromState(st.Aggs[c].Mean[m])
-			mean.Add(vals[c][m])
-			st.Aggs[c].Mean[m] = mean.State()
-			st.Aggs[c].Quants[m].Add(vals[c][m])
+			ag.Mean[m].Add(vals[c][m])
+			ag.Quants[m].Add(vals[c][m])
 		}
 	}
 	for pi := range st.Pairs {
@@ -379,14 +426,17 @@ func foldScenario(st *Study, vals [][NumMetrics]float64, failed []bool) {
 // Mean returns the population mean and 95% CI half-width of one metric
 // for one combo (failed scenarios excluded).
 func (st *Study) Mean(combo, metric int) (mean, ci float64) {
-	m := stats.MeanFromState(st.Aggs[combo].Mean[metric])
+	m := &st.Aggs[combo].Mean[metric]
 	return m.Mean(), m.CI95()
 }
 
-// Quantile returns the estimated quantile of one metric for one combo;
-// p must be one of stats.DefaultQuantiles.
+// Quantile returns the estimated quantile of one metric for one combo,
+// accurate to the sketch's relative-error bound (stats.MergingSketch).
 func (st *Study) Quantile(combo, metric int, p float64) (float64, error) {
-	return st.Aggs[combo].Quants[metric].Quantile(p)
+	if p < 0 || p > 1 {
+		return 0, fmt.Errorf("population: quantile %v outside [0,1]", p)
+	}
+	return st.Aggs[combo].Quants[metric].Quantile(p), nil
 }
 
 // PairedWins returns the paired per-scenario comparison of combos a and

@@ -46,7 +46,7 @@ func stubParams(n int, ck string) Params {
 		Seed:           42,
 		BatchSize:      128,
 		CheckpointPath: ck,
-		runBatch:       stubBatch,
+		RunBatch:       stubBatch,
 	}
 }
 
@@ -88,7 +88,7 @@ func TestResumeEquivalence10k(t *testing.T) {
 		t.Fatalf("interrupted at %d scenarios, want within [5000,10000)", partial.Done)
 	}
 
-	resumed, err := Resume(context.Background(), ck, Params{runBatch: stubBatch})
+	resumed, err := Resume(context.Background(), ck, Params{RunBatch: stubBatch})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +108,7 @@ func TestResumeExtendsTarget(t *testing.T) {
 	if _, err := Run(context.Background(), stubParams(3_000, ck)); err != nil {
 		t.Fatal(err)
 	}
-	extended, err := Resume(context.Background(), ck, Params{Scenarios: 9_000, runBatch: stubBatch})
+	extended, err := Resume(context.Background(), ck, Params{Scenarios: 9_000, RunBatch: stubBatch})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +138,7 @@ func TestResumeDifferentBatchSize(t *testing.T) {
 	if _, err := Run(ctx, p); err == nil {
 		t.Fatal("canceled run reported no error")
 	}
-	resumed, err := Resume(context.Background(), ck, Params{BatchSize: 31, runBatch: stubBatch})
+	resumed, err := Resume(context.Background(), ck, Params{BatchSize: 31, RunBatch: stubBatch})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,9 +151,12 @@ func TestResumeDifferentBatchSize(t *testing.T) {
 	}
 }
 
-// The streaming path must not retain per-scenario values: the aggregate
-// state (= checkpoint size) stays essentially constant as the scenario
-// count grows 10x.
+// The streaming path must not retain per-scenario values: the
+// aggregate state (= checkpoint size) stays bounded as the scenario
+// count grows 10x. The quantile sketches add one bin per occupied
+// log-bucket, so the state creeps up sub-linearly as more buckets see
+// their first sample — allow that, but reject anything resembling
+// per-scenario growth (10x scenarios must stay far under 2x bytes).
 func TestAggregateStateSizeIndependentOfN(t *testing.T) {
 	small, err := Run(context.Background(), stubParams(500, ""))
 	if err != nil {
@@ -164,7 +167,7 @@ func TestAggregateStateSizeIndependentOfN(t *testing.T) {
 		t.Fatal(err)
 	}
 	a, b := len(studyJSON(t, small)), len(studyJSON(t, large))
-	if b > a+1_000 {
+	if b > a+a/2 {
 		t.Fatalf("aggregate state grew with N: %d bytes at 500, %d at 5000", a, b)
 	}
 }
@@ -241,7 +244,7 @@ func TestLoadCheckpointRejectsGarbage(t *testing.T) {
 }
 
 func TestRunRejectsZeroScenarios(t *testing.T) {
-	if _, err := Run(context.Background(), Params{runBatch: stubBatch}); err == nil {
+	if _, err := Run(context.Background(), Params{RunBatch: stubBatch}); err == nil {
 		t.Fatal("zero-scenario study accepted")
 	}
 }

@@ -16,7 +16,6 @@ import (
 	"io"
 	"net/http"
 	"sort"
-	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -315,12 +314,7 @@ func doJSON(client *http.Client, req *http.Request, out any) (status int, retryA
 		return 0, 0, err
 	}
 	defer resp.Body.Close() //bce:errok read-side close after full drain
-	retryAfter = time.Second
-	if s := resp.Header.Get("Retry-After"); s != "" {
-		if secs, perr := strconv.Atoi(s); perr == nil && secs > 0 {
-			retryAfter = time.Duration(secs) * time.Second
-		}
-	}
+	retryAfter = ParseRetryAfter(resp.Header.Get("Retry-After"))
 	data, err := io.ReadAll(resp.Body)
 	if err != nil {
 		return resp.StatusCode, retryAfter, err

@@ -1,0 +1,64 @@
+// Robust Retry-After parsing, shared by the loadgen client and the
+// fabric worker. RFC 9110 allows either a delay in seconds or an HTTP
+// date; real servers additionally emit fractional seconds, zeros, and
+// garbage, none of which should turn a polite backoff into a hot retry
+// loop or an hour-long stall.
+package serve
+
+import (
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+const (
+	// DefaultRetryAfter is used when the header is absent or
+	// unparseable.
+	DefaultRetryAfter = time.Second
+	// MinRetryAfter floors the parsed delay: a server-sent 0 (or a date
+	// in the past) must still back off instead of hammering.
+	MinRetryAfter = 500 * time.Millisecond
+	// MaxRetryAfter caps the parsed delay so a bogus far-future date or
+	// huge number cannot stall a client for hours.
+	MaxRetryAfter = 5 * time.Minute
+)
+
+// ParseRetryAfter interprets a Retry-After header value: delay seconds
+// (integer or fractional) or an HTTP date, per RFC 9110 §10.2.3. The
+// result is clamped to [MinRetryAfter, MaxRetryAfter]; an empty or
+// unparseable value yields DefaultRetryAfter. The result is always a
+// sane positive backoff, whatever the server sent.
+func ParseRetryAfter(header string) time.Duration {
+	return parseRetryAfterAt(header, time.Now()) //bce:wallclock HTTP-date Retry-After is defined relative to real time
+}
+
+// parseRetryAfterAt is ParseRetryAfter with an injectable clock for the
+// HTTP-date form.
+func parseRetryAfterAt(header string, now time.Time) time.Duration {
+	s := strings.TrimSpace(header)
+	if s == "" {
+		return DefaultRetryAfter
+	}
+	if secs, err := strconv.ParseFloat(s, 64); err == nil {
+		if math.IsNaN(secs) || secs > MaxRetryAfter.Seconds() {
+			return MaxRetryAfter
+		}
+		return clampRetryAfter(time.Duration(secs * float64(time.Second)))
+	}
+	if t, err := http.ParseTime(s); err == nil {
+		return clampRetryAfter(t.Sub(now))
+	}
+	return DefaultRetryAfter
+}
+
+func clampRetryAfter(d time.Duration) time.Duration {
+	if d < MinRetryAfter {
+		return MinRetryAfter
+	}
+	if d > MaxRetryAfter {
+		return MaxRetryAfter
+	}
+	return d
+}

@@ -1,0 +1,57 @@
+package serve
+
+import (
+	"net/http"
+	"testing"
+	"time"
+)
+
+// Satellite bugfix regression: every Retry-After form a server might
+// send — integer seconds, fractional seconds, HTTP dates, zeros,
+// negatives, garbage — must come back as a sane clamped backoff. The
+// old parser only accepted positive integers, so "0" (a hot retry
+// loop), "1.5", and every HTTP date silently fell through.
+func TestParseRetryAfterTable(t *testing.T) {
+	now := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	cases := []struct {
+		name   string
+		header string
+		want   time.Duration
+	}{
+		{"absent", "", DefaultRetryAfter},
+		{"blank", "   ", DefaultRetryAfter},
+		{"integer seconds", "7", 7 * time.Second},
+		{"integer with spaces", "  7  ", 7 * time.Second},
+		{"fractional seconds", "1.5", 1500 * time.Millisecond},
+		{"zero clamps to minimum", "0", MinRetryAfter},
+		{"sub-minimum clamps", "0.001", MinRetryAfter},
+		{"negative clamps to minimum", "-3", MinRetryAfter},
+		{"huge clamps to maximum", "86400", MaxRetryAfter},
+		{"overflow clamps to maximum", "1e300", MaxRetryAfter},
+		{"nan clamps to maximum", "NaN", MaxRetryAfter},
+		{"http date future", now.Add(42 * time.Second).Format(http.TimeFormat), 42 * time.Second},
+		{"http date ansic", now.Add(42 * time.Second).Format(time.ANSIC), 42 * time.Second},
+		{"http date past clamps", now.Add(-time.Hour).Format(http.TimeFormat), MinRetryAfter},
+		{"http date far future clamps", now.Add(24 * time.Hour).Format(http.TimeFormat), MaxRetryAfter},
+		{"garbage", "soon", DefaultRetryAfter},
+		{"garbage units", "7s", DefaultRetryAfter},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := parseRetryAfterAt(tc.header, now); got != tc.want {
+				t.Errorf("ParseRetryAfter(%q) = %v, want %v", tc.header, got, tc.want)
+			}
+		})
+	}
+}
+
+// The clamped parse must always land inside [MinRetryAfter,
+// MaxRetryAfter] or be the default — never zero, never negative — so a
+// retry loop built on it can never spin hot.
+func TestParseRetryAfterNeverHot(t *testing.T) {
+	for _, h := range []string{"", "0", "-1", "0.0000001", "NaN", "-Inf", "+Inf", "junk", "9999999999999"} {
+		if got := ParseRetryAfter(h); got < MinRetryAfter && got != DefaultRetryAfter {
+			t.Errorf("ParseRetryAfter(%q) = %v: below minimum backoff", h, got)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+// Exact float64 summation via error-free transformations (Shewchuk's
+// expansion arithmetic, the algorithm behind Python's math.fsum). A sum
+// is kept as a list of non-overlapping "partials" whose mathematical
+// sum equals the true real-number sum of everything added — no rounding
+// error accumulates, ever. That exactness is what makes the population
+// study's aggregates mergeable with bit-identical results: the exact
+// sum of a multiset of floats does not depend on the order or grouping
+// of the additions, so folding shards separately and merging them
+// reproduces the single-process fold down to the last bit.
+package stats
+
+import "math"
+
+// addPartial folds x into the partials list in place, preserving the
+// invariant that the partials are non-overlapping and ordered by
+// increasing magnitude, and that their exact sum is unchanged plus x.
+// This is the inner loop of fsum: every two-sum is an error-free
+// transformation, so no information is lost.
+func addPartial(partials []float64, x float64) []float64 {
+	i := 0
+	for _, y := range partials {
+		if math.Abs(x) < math.Abs(y) {
+			x, y = y, x
+		}
+		hi := x + y
+		lo := y - (hi - x)
+		if lo != 0 {
+			partials[i] = lo
+			i++
+		}
+		x = hi
+	}
+	return append(partials[:i], x)
+}
+
+// sumPartials returns the correctly-rounded float64 nearest the exact
+// sum of the partials (CPython's fsum rounding step, including the
+// round-half-even correction for exact halfway cases).
+func sumPartials(p []float64) float64 {
+	n := len(p)
+	if n == 0 {
+		return 0
+	}
+	hi := p[n-1]
+	lo := 0.0
+	i := n - 1
+	for i > 0 {
+		i--
+		x, y := hi, p[i]
+		hi = x + y
+		yr := hi - x
+		lo = y - yr
+		if lo != 0 {
+			break
+		}
+	}
+	// Exact halfway case: look one partial further down to decide the
+	// rounding direction (round half to even would otherwise be decided
+	// by information the two-sum already discarded).
+	if i > 0 && ((lo < 0 && p[i-1] < 0) || (lo > 0 && p[i-1] > 0)) {
+		y := lo * 2
+		x := hi + y
+		if yr := x - hi; y == yr {
+			hi = x
+		}
+	}
+	return hi
+}
+
+// canonicalPartials reduces a partials list to the canonical expansion
+// of its exact sum: the first component is the correctly-rounded sum,
+// the second the correctly-rounded remainder, and so on until the
+// remainder is exactly zero. The result is a pure function of the exact
+// real value — two partials lists built by different add/merge orders
+// that represent the same exact sum canonicalize to identical bits,
+// which is what makes serialized aggregate state comparable byte-for-
+// byte across shard topologies. Components come out in increasing
+// magnitude, ready to be used as a partials list again.
+func canonicalPartials(partials []float64) []float64 {
+	ps := append([]float64(nil), partials...)
+	var desc []float64
+	// An exact sum of float64s is a dyadic rational; each peeled
+	// component removes at least 53 bits, so the loop terminates well
+	// inside the exponent range. The cap is an unreachable safety net.
+	for range [64]struct{}{} {
+		v := sumPartials(ps)
+		if v == 0 {
+			break
+		}
+		desc = append(desc, v)
+		ps = addPartial(ps, -v)
+	}
+	if len(desc) == 0 {
+		return nil
+	}
+	for i, j := 0, len(desc)-1; i < j; i, j = i+1, j-1 {
+		desc[i], desc[j] = desc[j], desc[i]
+	}
+	return desc
+}
+
+// mergePartials folds every partial of b into a, exactly.
+func mergePartials(a []float64, b []float64) []float64 {
+	for _, x := range b {
+		a = addPartial(a, x)
+	}
+	return a
+}

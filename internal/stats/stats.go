@@ -8,6 +8,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"math"
 	"math/rand"
 )
@@ -85,50 +86,122 @@ func (g *RNG) Lognormal(mu, sigma float64) float64 {
 // Perm returns a random permutation of [0,n).
 func (g *RNG) Perm(n int) []int { return g.r.Perm(n) }
 
-// Mean is an online mean/variance accumulator (Welford).
+// Mean is an online mean/variance accumulator. It keeps the exact sum
+// and exact sum of squares of its samples as non-overlapping float64
+// expansions (see exactsum.go), so the accumulated state is a pure
+// function of the sample multiset: adding samples in any order, or
+// splitting them across accumulators and merging, yields bit-identical
+// Mean/Var/State results. That is the property the sharded population
+// study relies on for shard-count-invariant output.
+//
+// A Mean holds internal slices; do not copy a Mean that is still being
+// Added to (pass pointers, as every method already requires).
 type Mean struct {
-	n    int
-	mean float64
-	m2   float64
+	n     int
+	sum   []float64 // exact Σx as non-overlapping partials
+	sumsq []float64 // exact Σx² as non-overlapping partials
 }
 
-// MeanState is the serializable form of a Mean accumulator: the Welford
-// triple (count, running mean, sum of squared deviations). JSON encodes
-// float64 values exactly (shortest round-trip form), so a state written
-// to a checkpoint and read back reconstructs the accumulator
-// bit-for-bit.
+// MeanState is the serializable form of a Mean accumulator: the count
+// plus the canonical expansions of the exact sum and sum of squares.
+// Canonical means the first component is the correctly-rounded total,
+// the next the correctly-rounded remainder, and so on — a pure function
+// of the exact sums, so two accumulators that saw the same samples in
+// any order serialize byte-for-byte identically. JSON encodes float64
+// in shortest round-trip form, so a state written to a checkpoint and
+// read back reconstructs the accumulator bit-for-bit.
 type MeanState struct {
-	N    int     `json:"n"`
-	Mean float64 `json:"mean"`
-	M2   float64 `json:"m2"`
+	N     int       `json:"n"`
+	Sum   []float64 `json:"sum,omitempty"`
+	SumSq []float64 `json:"sumsq,omitempty"`
 }
 
-// State exports the accumulator for checkpointing.
-func (m Mean) State() MeanState { return MeanState{N: m.n, Mean: m.mean, M2: m.m2} }
+// State exports the accumulator for checkpointing, in canonical form.
+func (m Mean) State() MeanState {
+	return MeanState{
+		N:     m.n,
+		Sum:   canonicalPartials(m.sum),
+		SumSq: canonicalPartials(m.sumsq),
+	}
+}
 
 // MeanFromState reconstructs an accumulator from an exported state.
-func MeanFromState(s MeanState) Mean { return Mean{n: s.N, mean: s.Mean, m2: s.M2} }
+func MeanFromState(s MeanState) Mean {
+	return Mean{
+		n:     s.N,
+		sum:   append([]float64(nil), s.Sum...),
+		sumsq: append([]float64(nil), s.SumSq...),
+	}
+}
+
+// Merge folds accumulator s into m, exactly: the result is
+// bit-identical to a single accumulator that saw both sample sets, in
+// any order. Merge is therefore associative and commutative.
+func (s MeanState) Merge(o MeanState) MeanState {
+	m := MeanFromState(s)
+	other := MeanFromState(o)
+	m.Merge(&other)
+	return m.State()
+}
+
+// MarshalJSON encodes the accumulator as its canonical MeanState.
+func (m Mean) MarshalJSON() ([]byte, error) { return json.Marshal(m.State()) }
+
+// UnmarshalJSON decodes a MeanState back into the accumulator.
+func (m *Mean) UnmarshalJSON(b []byte) error {
+	var s MeanState
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	*m = MeanFromState(s)
+	return nil
+}
 
 // Add folds a sample into the accumulator.
 func (m *Mean) Add(x float64) {
 	m.n++
-	d := x - m.mean
-	m.mean += d / float64(m.n)
-	m.m2 += d * (x - m.mean)
+	m.sum = addPartial(m.sum, x)
+	m.sumsq = addPartial(m.sumsq, x*x)
+}
+
+// Merge folds all samples seen by o into m, exactly (see the type
+// comment). o is unchanged.
+func (m *Mean) Merge(o *Mean) {
+	m.n += o.n
+	m.sum = mergePartials(m.sum, o.sum)
+	m.sumsq = mergePartials(m.sumsq, o.sumsq)
 }
 
 // N returns the number of samples.
 func (m *Mean) N() int { return m.n }
 
-// Mean returns the sample mean (0 with no samples).
-func (m *Mean) Mean() float64 { return m.mean }
+// Mean returns the sample mean (0 with no samples). The result is the
+// correctly-rounded exact sum divided by n, so it does not depend on
+// the order the samples arrived or on how accumulators were merged.
+func (m *Mean) Mean() float64 {
+	if m.n == 0 {
+		return 0
+	}
+	return sumPartials(m.sum) / float64(m.n)
+}
 
-// Var returns the sample variance (0 with <2 samples).
+// Var returns the sample variance (0 with <2 samples), computed from
+// the correctly-rounded exact sums as (Σx² − (Σx)²/n)/(n−1), clamped at
+// zero. The exact sums make the result order-independent; the clamp
+// absorbs the final-rounding wobble that can push a near-zero variance
+// fractionally negative.
 func (m *Mean) Var() float64 {
 	if m.n < 2 {
 		return 0
 	}
-	return m.m2 / float64(m.n-1)
+	n := float64(m.n)
+	sv := sumPartials(m.sum)
+	qv := sumPartials(m.sumsq)
+	v := (qv - sv*(sv/n)) / (n - 1)
+	if v < 0 || math.IsNaN(v) {
+		return 0
+	}
+	return v
 }
 
 // Stdev returns the sample standard deviation.

@@ -12,7 +12,10 @@
 // This package is the in-memory view: it keeps every per-scenario
 // value, which is convenient for small studies and tests. Large or
 // resumable studies should use internal/population directly, which
-// streams the same cells into constant-size aggregates.
+// streams the same cells into constant-size mergeable aggregates; for
+// studies too big for one process, internal/fabric shards a population
+// study across worker processes and merges the partial aggregates back
+// into the identical result (DESIGN.md §14).
 package study
 
 import (
