@@ -83,7 +83,7 @@ type Timeline = timeline.Recorder
 // Run emulates the scenario and reports the figures of merit. It is
 // RunContext with a background context.
 //
-//bce:ctxshim
+//bce:ctxshim convenience wrapper; roots a background context and delegates to the Context variant
 func Run(s *Scenario) (*Result, error) { return RunContext(context.Background(), s) }
 
 // RunContext emulates the scenario under ctx: cancellation or timeout
@@ -101,7 +101,7 @@ func RunContext(ctx context.Context, s *Scenario) (*Result, error) {
 
 // RunConfig emulates a low-level configuration.
 //
-//bce:ctxshim
+//bce:ctxshim convenience wrapper; roots a background context and delegates to the Context variant
 func RunConfig(cfg Config) (*Result, error) {
 	return RunConfigContext(context.Background(), cfg)
 }

@@ -1,10 +1,11 @@
 // Command bcelint runs BCE's contract-enforcing analyzer suite
 // (internal/analyzers) over the module — six determinism rules
-// (nowalltime, seededrand, mapiter, ctxpass, seedderive, errdrop) and
-// three concurrency rules (guardedby, goleak, lockorder) — with
-// interprocedural fact propagation surfacing laundered violations at
-// the governed call site (see DESIGN.md §10). CI runs it as
-// `go run ./cmd/bcelint -json -baseline .bcelint-baseline.json ./...`;
+// (nowalltime, seededrand, mapiter, ctxpass, seedderive, errdrop),
+// three concurrency rules (guardedby, goleak, lockorder), and two
+// allocation rules (hotalloc, noretain) — with interprocedural fact
+// propagation surfacing laundered violations at the governed call site
+// (see DESIGN.md §10). CI runs it as
+// `go run ./cmd/bcelint -json -ci -baseline .bcelint-baseline.json ./...`;
 // a non-baselined finding exits 1.
 //
 // With -json, each diagnostic is one JSON object per line (analyzer,
@@ -19,6 +20,13 @@
 // survives checkout moves but not code drift — any change to the
 // finding re-surfaces it.
 //
+// A baseline entry whose finding no longer occurs is stale: the debt
+// it recorded was paid, and keeping the entry would mask a future
+// regression that happens to hash identically. Stale entries are
+// always reported on stderr; with -ci they fail the run (exit 1), so
+// the committed baseline can only shrink. -prune-baseline rewrites the
+// file keeping exactly the entries that still match.
+//
 // Analyzers see only non-test Go files — tests may use wall time,
 // ad-hoc seeded RNGs, and unguarded scaffolding freely.
 package main
@@ -30,6 +38,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 
 	"bce/internal/analyzers"
 )
@@ -95,12 +104,16 @@ func readBaseline(path string) (map[string]string, error) {
 }
 
 func writeBaseline(path string, diags []analyzers.Diagnostic) error {
-	bf := baselineFile{Findings: map[string]string{}}
+	findings := map[string]string{}
 	for _, d := range diags {
-		bf.Findings[findingKey(d)] = fmt.Sprintf("%s: %s:%d:%d",
+		findings[findingKey(d)] = fmt.Sprintf("%s: %s:%d:%d",
 			d.Analyzer, relFile(d.Pos.Filename), d.Pos.Line, d.Pos.Column)
 	}
-	data, err := json.MarshalIndent(bf, "", "  ")
+	return writeBaselineMap(path, findings)
+}
+
+func writeBaselineMap(path string, findings map[string]string) error {
+	data, err := json.MarshalIndent(baselineFile{Findings: findings}, "", "  ")
 	if err != nil {
 		return err
 	}
@@ -114,8 +127,12 @@ func main() {
 		"suppress findings recorded in this baseline file; fail only on new ones")
 	writeBase := flag.Bool("write-baseline", false,
 		"rewrite the -baseline file from the current findings and exit 0")
+	ciMode := flag.Bool("ci", false,
+		"CI mode: stale baseline entries (recorded findings that no longer occur) fail the run")
+	pruneBase := flag.Bool("prune-baseline", false,
+		"rewrite the -baseline file keeping only entries that still match a finding")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: bcelint [-json] [-baseline file [-write-baseline]] [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: bcelint [-json] [-ci] [-baseline file [-write-baseline|-prune-baseline]] [packages]\n\n")
 		for _, rule := range analyzers.Suite() {
 			fmt.Fprintf(flag.CommandLine.Output(), "  %-12s %s\n", rule.Analyzer.Name, rule.Analyzer.Doc)
 		}
@@ -145,22 +162,50 @@ func main() {
 		return
 	}
 
+	if *pruneBase && *baselinePath == "" {
+		fmt.Fprintln(os.Stderr, "bcelint: -prune-baseline needs -baseline FILE")
+		os.Exit(2)
+	}
+
 	suppressed := 0
+	var stale []string
 	if *baselinePath != "" {
 		base, err := readBaseline(*baselinePath)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "bcelint:", err)
 			os.Exit(2)
 		}
+		matched := make(map[string]bool, len(base))
 		kept := diags[:0]
 		for _, d := range diags {
-			if _, ok := base[findingKey(d)]; ok {
+			key := findingKey(d)
+			if _, ok := base[key]; ok {
+				matched[key] = true
 				suppressed++
 				continue
 			}
 			kept = append(kept, d)
 		}
 		diags = kept
+		for key, summary := range base {
+			if !matched[key] {
+				stale = append(stale, fmt.Sprintf("%s (%s)", key, summary))
+			}
+		}
+		sort.Strings(stale)
+		if *pruneBase {
+			pruned := make(map[string]string, len(matched))
+			for key := range matched {
+				pruned[key] = base[key]
+			}
+			if err := writeBaselineMap(*baselinePath, pruned); err != nil {
+				fmt.Fprintln(os.Stderr, "bcelint:", err)
+				os.Exit(2)
+			}
+			fmt.Fprintf(os.Stderr, "bcelint: pruned %d stale entr%s from %s, kept %d\n",
+				len(stale), plural(len(stale), "y", "ies"), *baselinePath, len(pruned))
+			stale = nil
+		}
 	}
 
 	if *jsonOut {
@@ -194,8 +239,26 @@ func main() {
 	if suppressed > 0 {
 		fmt.Fprintf(os.Stderr, "bcelint: %d baselined finding(s) suppressed\n", suppressed)
 	}
+	for _, s := range stale {
+		fmt.Fprintf(os.Stderr, "bcelint: stale baseline entry %s no longer matches any finding\n", s)
+	}
+	if len(stale) > 0 {
+		fmt.Fprintf(os.Stderr, "bcelint: %d stale baseline entr%s; run -prune-baseline to remove\n",
+			len(stale), plural(len(stale), "y", "ies"))
+	}
+	fail := len(diags) > 0 || (*ciMode && len(stale) > 0)
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "bcelint: %d violation(s)\n", len(diags))
+	}
+	if fail {
 		os.Exit(1)
 	}
+}
+
+// plural selects the singular or plural suffix for n.
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
 }

@@ -29,17 +29,33 @@
 //   - lockorder: the module-wide lock-order graph stays acyclic;
 //     cycles are reported as potential deadlocks with both chains.
 //
+// Two more enforce the allocation contract on the emulation kernel
+// (DESIGN.md §10.3):
+//
+//   - hotalloc: functions annotated //bce:hotpath — and everything
+//     they transitively call inside the module — must not allocate:
+//     escaping composite literals and make/new, non-self-append
+//     append, string<->[]byte conversions, interface boxing, closure
+//     captures, variadic slice construction, and fmt calls.
+//   - noretain: functions annotated //bce:scratch (the reusable-
+//     simulator pattern) must not retain references to caller-provided
+//     slices or pointers beyond the call.
+//
 // Several rules also propagate interprocedurally: a module-wide call
 // graph and fact store (facts.go for the determinism facts,
-// concurrency.go for requires-lock/acquires/terminates) surface a
-// violation buried in an out-of-scope helper at the governed call
-// site, with the full call chain.
+// concurrency.go for requires-lock/acquires/terminates, allocfacts.go
+// for transitively-allocates) surface a violation buried in an
+// out-of-scope helper at the governed call site, with the full call
+// chain.
 //
 // Escape hatches are directive comments: //bce:wallclock,
 // //bce:unordered, //bce:ctxshim, //bce:seedok, //bce:errok,
-// //bce:lockok and //bce:bgok, honored on the flagged line, the line
-// above it, the enclosing function's doc comment, or (for closures)
-// the function literal's opening line or the line above it.
+// //bce:lockok, //bce:bgok, //bce:allocok and //bce:retainok, honored
+// on the flagged line, the line above it, the enclosing function's doc
+// comment, or (for closures) the function literal's opening line or
+// the line above it. Every escape carries a trailing justification
+// ("//bce:allocok amortized grow path"), enforced by the suite's
+// hygiene meta-check.
 package analyzers
 
 import (

@@ -53,6 +53,30 @@ func TestInterprocedural(t *testing.T) {
 	analysistest.RunModule(t, rules, golden("interp"))
 }
 
+// TestHotAlloc runs the allocation tier over the hotalloc golden
+// mini-module: direct sites inside //bce:hotpath functions (escaping
+// make/composite, non-self append, string conversions, boxing, closure
+// captures, variadic construction, fmt), the two-hop laundering chain
+// (kernel → helper.Fold → tally → scratch), interface dispatch through
+// a CHA node, //bce:allocok placement on the line / line above / call
+// site, and compile-time dead code under a const-false guard.
+func TestHotAlloc(t *testing.T) {
+	all := func(string) bool { return true }
+	rules := []analyzers.Rule{
+		{Analyzer: analyzers.HotAlloc, Applies: all},
+	}
+	analysistest.RunModule(t, rules, golden("hotalloc"))
+}
+
+// TestNoRetain runs the scratch-retention check over its golden
+// package: slice/interior-pointer retention into receiver fields, maps
+// and channels, package-level stores, alias laundering through locals,
+// the copy builtin both ways, and the value-element deep-copy idioms
+// that must stay clean.
+func TestNoRetain(t *testing.T) {
+	analysistest.Run(t, analyzers.NoRetain, golden("noretain"))
+}
+
 // TestConcurrency runs the concurrency tier over the conc golden
 // mini-module: guardedby (held-lock tracking, RWMutex strength,
 // cross-function requirements with witness chains), goleak (lifeline

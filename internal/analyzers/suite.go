@@ -57,6 +57,8 @@ func Suite() []Rule {
 		{GuardedBy, libraryPackage},
 		{GoLeak, libraryPackage},
 		{LockOrder, libraryPackage},
+		{HotAlloc, everywhere},
+		{NoRetain, everywhere},
 	}
 }
 
@@ -95,6 +97,9 @@ func RunRules(pkgs []*Package, rules []Rule) ([]Diagnostic, error) {
 	all = append(all, computeFacts(pkgs, graph).report(rules)...)
 	if concurrencyRules(rules) {
 		all = append(all, computeConcurrency(pkgs, graph).report(rules)...)
+	}
+	if allocRules(rules) {
+		all = append(all, computeAlloc(pkgs, graph).report(rules)...)
 	}
 	sortDiagnostics(all)
 	return all, nil

@@ -1,0 +1,68 @@
+// Package helper holds innocent-looking helpers whose allocations are
+// laundered into the kernel's hotpath roots: none of them is annotated
+// //bce:hotpath, so the direct pass stays quiet here and every finding
+// must surface interprocedurally, at the kernel call site, with the
+// witness chain.
+package helper
+
+// Fold launders an allocation two hops deep: Fold → tally → scratch.
+func Fold(vals []float64) float64 {
+	return tally(vals)
+}
+
+func tally(vals []float64) float64 {
+	tmp := scratch(len(vals))
+	copy(tmp, vals)
+	var acc float64
+	for _, v := range tmp {
+		acc += v
+	}
+	return acc
+}
+
+func scratch(n int) []float64 {
+	return make([]float64, n)
+}
+
+// Lean is allocation-free all the way down: no fact, no report at its
+// hotpath call sites.
+func Lean(vals []float64) float64 {
+	var acc float64
+	for _, v := range vals {
+		acc += v
+	}
+	return acc
+}
+
+// Variadic sums its argument slice without allocating itself; the
+// temporary slice is constructed at the call site.
+func Variadic(vs ...int) int {
+	total := 0
+	for _, v := range vs {
+		total += v
+	}
+	return total
+}
+
+// Accum is dispatched dynamically from the kernel; class-hierarchy
+// analysis must carry the allocating implementation's fact through the
+// interface method to the dynamic call site.
+type Accum interface {
+	Add(x float64) float64
+}
+
+// Boxy allocates a fresh backing array on every Add.
+type Boxy struct{ vals []float64 }
+
+func (b *Boxy) Add(x float64) float64 {
+	b.vals = append([]float64{x}, b.vals...)
+	return x
+}
+
+// Tight is the allocation-free implementation.
+type Tight struct{ sum float64 }
+
+func (t *Tight) Add(x float64) float64 {
+	t.sum += x
+	return t.sum
+}

@@ -1,0 +1,127 @@
+// Package noretain exercises the //bce:scratch retention contract: a
+// scratch API must not retain references to caller-provided slices or
+// pointers beyond the call. Deep copies of value elements are fine;
+// storing the caller's backing arrays or pointees is not.
+package noretain
+
+// Job carries only values, so copying its elements is a deep copy.
+type Job struct {
+	ID     int
+	Weight float64
+}
+
+// Linked carries a reference, so even copied elements retain caller
+// memory.
+type Linked struct {
+	Deps []int
+}
+
+// Sim is a reusable scratch simulator in the rrsim mold.
+type Sim struct {
+	jobs      []Job
+	links     []Linked
+	out       []*Job
+	byID      map[int]*Job
+	last      *Job
+	lastTotal float64
+	notify    chan *Job
+}
+
+var registry []*Job
+
+// Run retains the caller's slice and an interior pointer.
+//
+//bce:scratch
+func (s *Sim) Run(jobs []Job) {
+	s.jobs = jobs // want `stores a caller-provided reference into the receiver \(s\)`
+	for i := range jobs {
+		s.last = &jobs[i] // want `stores a caller-provided reference into the receiver \(s\)`
+	}
+}
+
+// RunCopy reuses its scratch correctly: value elements are deep-copied
+// into retained storage, nothing aliases the caller.
+//
+//bce:scratch
+func (s *Sim) RunCopy(jobs []Job) {
+	s.jobs = append(s.jobs[:0], jobs...)
+	if len(s.jobs) < len(jobs) {
+		s.jobs = make([]Job, len(jobs))
+	}
+	copy(s.jobs, jobs)
+}
+
+// RunLinked deep-copies elements that themselves carry references —
+// still a retention.
+//
+//bce:scratch
+func (s *Sim) RunLinked(links []Linked) {
+	s.links = append(s.links[:0], links...) // want `stores a caller-provided reference into the receiver \(s\)`
+}
+
+// Alias launders the slice through a local before storing it.
+//
+//bce:scratch
+func (s *Sim) Alias(jobs []Job) {
+	view := jobs[1:]
+	s.jobs = view // want `stores a caller-provided reference into the receiver \(s\)`
+}
+
+// Fill shows the copy builtin both ways: value elements deep-copy,
+// pointer elements retain the pointees.
+//
+//bce:scratch
+func (s *Sim) Fill(jobs []Job, ptrs []*Job) {
+	if len(s.jobs) < len(jobs) {
+		s.jobs = make([]Job, len(jobs))
+	}
+	copy(s.jobs, jobs)
+	copy(s.out, ptrs) // want `stores a caller-provided reference into the receiver \(s\)`
+}
+
+// Index stores interior pointers into a retained map.
+//
+//bce:scratch
+func (s *Sim) Index(jobs []Job) {
+	for i := range jobs {
+		s.byID[jobs[i].ID] = &jobs[i] // want `stores a caller-provided reference into the receiver \(s\)`
+	}
+}
+
+// Send retains through a held channel.
+//
+//bce:scratch
+func (s *Sim) Send(j *Job) {
+	s.notify <- j // want `stores a caller-provided reference into the receiver \(s\)`
+}
+
+// Register retains into package-level state.
+//
+//bce:scratch
+func Register(j *Job) {
+	registry = append(registry, j) // want `stores a caller-provided reference into package-level registry`
+}
+
+// Sum stores only a computed value: values are not references.
+//
+//bce:scratch
+func (s *Sim) Sum(jobs []Job) float64 {
+	var total float64
+	for i := range jobs {
+		total += jobs[i].Weight
+	}
+	s.lastTotal = total
+	return total
+}
+
+// Hold documents a deliberate alias with //bce:retainok.
+//
+//bce:scratch
+func (s *Sim) Hold(j *Job) {
+	s.last = j //bce:retainok aliased only until the next Run resets it (documented contract)
+}
+
+// Retain is not annotated //bce:scratch: out of contract, unchecked.
+func (s *Sim) Retain(jobs []Job) {
+	s.jobs = jobs
+}

@@ -289,7 +289,7 @@ func (c *Client) logf(format string, args ...any) {
 
 // Run executes the emulation and returns the figures of merit.
 //
-//bce:ctxshim
+//bce:ctxshim convenience wrapper; roots a background context and delegates to the Context variant
 func (c *Client) Run() (*Result, error) { return c.RunContext(context.Background()) }
 
 // Context checks in RunContext happen between batches of simulator
@@ -328,7 +328,7 @@ func (c *Client) RunContext(ctx context.Context) (*Result, error) {
 		if c.sim.RunUntilN(c.cfg.Duration, batch) < batch {
 			break
 		}
-		switch elapsed := time.Since(start); { //bce:wallclock
+		switch elapsed := time.Since(start); { //bce:wallclock adaptive ctx-check batching measures host time, never sim state
 		case elapsed < ctxCheckTarget/4 && batch < maxCtxCheckEvents:
 			batch *= 2
 		case elapsed > ctxCheckTarget && batch > minCtxCheckEvents:
@@ -609,6 +609,8 @@ const rrsimSlackEpsilon = 1e-3
 // all-waiting stretches hit this path on every tick). Endangered
 // verdicts are not returned: they latch onto each task's
 // DeadlineFlagged bit, which the scheduler reads directly.
+//
+//bce:hotpath
 func (c *Client) runRRSim() *rrsim.Result {
 	now := c.sim.Now()
 	cc := &c.rrCache
@@ -620,7 +622,7 @@ func (c *Client) runRRSim() *rrsim.Result {
 	// (and the validity window holds) nothing changed and the cached
 	// result stands.
 	if cap(c.rrJobs) < len(c.tasks) {
-		grown := make([]rrsim.Job, len(c.tasks))
+		grown := make([]rrsim.Job, len(c.tasks)) //bce:allocok amortized grow of the cross-tick job cache, stops once sized to the queue
 		copy(grown, c.rrJobs)
 		c.rrJobs = grown[:len(c.rrJobs)]
 	}
@@ -655,7 +657,7 @@ func (c *Client) runRRSim() *rrsim.Result {
 	// rrsim keeps no references past the run, so the pointer slice and
 	// job array live across ticks as scratch.
 	if cap(c.rrJobPtrs) < n {
-		c.rrJobPtrs = make([]*rrsim.Job, n)
+		c.rrJobPtrs = make([]*rrsim.Job, n) //bce:allocok amortized grow of reusable scratch, stops once sized to the queue
 	}
 	c.rrJobPtrs = c.rrJobPtrs[:n]
 	for i := range c.rrJobPtrs {

@@ -195,7 +195,7 @@ func Scenario4(jf fetch.PolicyKind, seed int64) client.Config {
 // CPU plus 25% of the GPU, B gets 75% of the GPU. The emulator is run
 // for 10 days and the achieved per-device throughput is reported.
 //
-//bce:ctxshim
+//bce:ctxshim convenience wrapper; roots a background context and delegates to the Context variant
 func Figure1(seeds []int64) (*Figure, error) {
 	return Figure1Context(context.Background(), seeds)
 }
@@ -295,7 +295,7 @@ func Figure2() *Figure {
 // 1's latency bound (1000–2000 s for 1000 s jobs) under JS-WRR,
 // JS-LOCAL and JS-GLOBAL in scenario 1.
 //
-//bce:ctxshim
+//bce:ctxshim convenience wrapper; roots a background context and delegates to the Context variant
 func Figure3(seeds []int64) (*Figure, error) {
 	return Figure3Context(context.Background(), seeds)
 }
@@ -334,7 +334,7 @@ func Figure3Context(ctx context.Context, seeds []int64, opts ...runner.Option) (
 // share violation (and idle fraction for context) for JS-LOCAL vs
 // JS-GLOBAL in scenario 2.
 //
-//bce:ctxshim
+//bce:ctxshim convenience wrapper; roots a background context and delegates to the Context variant
 func Figure4(seeds []int64) (*Figure, error) {
 	return Figure4Context(context.Background(), seeds)
 }
@@ -373,7 +373,7 @@ func Figure4Context(ctx context.Context, seeds []int64, opts ...runner.Option) (
 // plus the JF-SPREAD hybrid (§6.2 "other policy alternatives") between
 // them.
 //
-//bce:ctxshim
+//bce:ctxshim convenience wrapper; roots a background context and delegates to the Context variant
 func Figure5(seeds []int64) (*Figure, error) {
 	return Figure5Context(context.Background(), seeds)
 }
@@ -411,7 +411,7 @@ func Figure5Context(ctx context.Context, seeds []int64, opts ...runner.Option) (
 // Figure6 reproduces "credit-estimate half-life affects resource share
 // violation": share violation vs REC half-life A in scenario 3.
 //
-//bce:ctxshim
+//bce:ctxshim convenience wrapper; roots a background context and delegates to the Context variant
 func Figure6(seeds []int64) (*Figure, error) {
 	return Figure6Context(context.Background(), seeds)
 }

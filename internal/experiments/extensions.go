@@ -24,7 +24,7 @@ import (
 // (§6.2 "the order in which files are uploaded and downloaded").
 // Reported value: deadline misses per emulated day, per policy.
 //
-//bce:ctxshim
+//bce:ctxshim convenience wrapper; roots a background context and delegates to the Context variant
 func ExtTransfer(seeds []int64) (*Figure, error) {
 	return ExtTransferContext(context.Background(), seeds)
 }
@@ -93,7 +93,7 @@ func ExtTransferContext(ctx context.Context, seeds []int64, opts ...runner.Optio
 // ExtFleet compares uniform per-host shares against fleet-planned
 // shares (§6.2 "enforcing resource share across a volunteer's hosts").
 //
-//bce:ctxshim
+//bce:ctxshim convenience wrapper; roots a background context and delegates to the Context variant
 func ExtFleet(seeds []int64) (*Figure, error) {
 	return ExtFleetContext(context.Background(), seeds)
 }
@@ -155,7 +155,7 @@ func ExtFleetContext(ctx context.Context, seeds []int64, opts ...runner.Option) 
 // emulation (the §6.1 complement): validated throughput and waste per
 // replication policy.
 //
-//bce:ctxshim
+//bce:ctxshim convenience wrapper; roots a background context and delegates to the Context variant
 func ExtServer(seeds []int64) (*Figure, error) {
 	return ExtServerContext(context.Background(), seeds)
 }

@@ -257,7 +257,7 @@ type Evaluation struct {
 // Evaluate emulates every host under the plan's shares and aggregates.
 // Hosts not attached to a project (share 0) skip it entirely.
 //
-//bce:ctxshim
+//bce:ctxshim convenience wrapper; roots a background context and delegates to the Context variant
 func (f *Fleet) Evaluate(plan *Plan, duration float64, seed int64) (*Evaluation, error) {
 	return f.EvaluateContext(context.Background(), plan, duration, seed)
 }

@@ -65,7 +65,7 @@ func (a Agg) MetricByName(name string) float64 {
 
 // Run executes one config and returns its result.
 //
-//bce:ctxshim
+//bce:ctxshim convenience wrapper; roots a background context and delegates to the Context variant
 func Run(cfg client.Config) (*client.Result, error) {
 	return RunContext(context.Background(), cfg)
 }
@@ -78,7 +78,7 @@ func RunContext(ctx context.Context, cfg client.Config) (*client.Result, error) 
 
 // Replicate runs the variant once per seed and aggregates.
 //
-//bce:ctxshim
+//bce:ctxshim convenience wrapper; roots a background context and delegates to the Context variant
 func Replicate(v Variant, seeds []int64) (Agg, error) {
 	return ReplicateContext(context.Background(), v, seeds)
 }
@@ -152,7 +152,7 @@ type Comparison struct {
 
 // Compare replicates every variant over the same seeds.
 //
-//bce:ctxshim
+//bce:ctxshim convenience wrapper; roots a background context and delegates to the Context variant
 func Compare(vs []Variant, seeds []int64) (*Comparison, error) {
 	return CompareContext(context.Background(), vs, seeds)
 }
@@ -224,7 +224,7 @@ type SweepResult struct {
 // Sweep runs every variant at every parameter value. The variant's Make
 // receives the seed; mk wraps a parameterised variant constructor.
 //
-//bce:ctxshim
+//bce:ctxshim convenience wrapper; roots a background context and delegates to the Context variant
 func Sweep(param string, xs []float64, mk func(x float64) []Variant, seeds []int64) (*SweepResult, error) {
 	return SweepContext(context.Background(), param, xs, mk, seeds)
 }

@@ -392,7 +392,12 @@ func foldBatch(st *Study, p Params, lo, hi int, specs []runner.Spec, errs []erro
 	}
 }
 
-// foldScenario folds one scenario's per-combo values.
+// foldScenario folds one scenario's per-combo values. vals and failed
+// are the caller's reusable batch buffers, overwritten per scenario, so
+// nothing here may allocate or hold a reference to them past the call.
+//
+//bce:hotpath
+//bce:scratch
 func foldScenario(st *Study, vals [][NumMetrics]float64, failed []bool) {
 	for c := range st.Aggs {
 		ag := &st.Aggs[c]

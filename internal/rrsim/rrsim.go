@@ -166,16 +166,20 @@ func Run(in Input) *Result { return New().Run(in) }
 
 // growFloats returns s resized to n entries, reusing its backing array
 // when possible. Contents are unspecified.
+//
+//bce:hotpath
 func growFloats(s []float64, n int) []float64 {
 	if cap(s) < n {
-		return make([]float64, n)
+		return make([]float64, n) //bce:allocok amortized grow of a reusable scratch buffer, stops once sized to the workload
 	}
 	return s[:n]
 }
 
 // Run executes the round-robin simulation, allocating a fresh Result.
+//
+//bce:hotpath
 func (s *Simulator) Run(in Input) *Result {
-	res := &Result{}
+	res := &Result{} //bce:allocok one Result per call by design; steady-state callers reuse one via RunInto
 	s.RunInto(res, in)
 	return res
 }
@@ -183,6 +187,9 @@ func (s *Simulator) Run(in Input) *Result {
 // RunInto executes the round-robin simulation, resetting res and
 // writing the outcome into it. Hot-path callers keep one Result and
 // reuse it across runs so a steady-state Run allocates nothing at all.
+//
+//bce:hotpath
+//bce:scratch
 func (s *Simulator) RunInto(res *Result, in Input) {
 	*res = Result{}
 	for t := host.ProcType(0); t < host.NumProcTypes; t++ {
@@ -236,6 +243,7 @@ func (s *Simulator) RunInto(res *Result, in Input) {
 			d[p] = 0
 		}
 		if cap(s.exact[t]) < nproj {
+			//bce:allocok amortized grow of a reusable scratch buffer, stops once sized to the workload
 			s.exact[t] = make([]bool, nproj)
 		}
 		s.exact[t] = s.exact[t][:nproj]
@@ -492,6 +500,9 @@ func (s *Simulator) RunInto(res *Result, in Input) {
 // (progressive filling). The returned slice satisfies alloc[i] <=
 // demand[i], sum(alloc) <= total, and sum(alloc) == min(total,
 // sum(demand)) up to round-off. It is valid until the next call.
+//
+//bce:hotpath
+//bce:scratch
 func (s *Simulator) allocate(demand, weight []float64, total float64) []float64 {
 	n := len(demand)
 	s.alloc = growFloats(s.alloc, n)
@@ -503,6 +514,7 @@ func (s *Simulator) allocate(demand, weight []float64, total float64) []float64 
 		return alloc
 	}
 	if cap(s.active) < n {
+		//bce:allocok amortized grow of a reusable scratch buffer, stops once sized to the workload
 		s.active = make([]bool, n)
 	}
 	active := s.active[:n]

@@ -169,9 +169,12 @@ type Enforcer struct {
 // Enforce computes the set of tasks to run (paper §3.3's "build an
 // ordered job list, then scan it"). The returned Decision aliases the
 // Enforcer's scratch and is valid until the next call.
+//
+//bce:hotpath
+//bce:scratch
 func (e *Enforcer) Enforce(in Input) Decision {
 	if cap(e.ranks) < len(in.Tasks) {
-		e.ranks = make([]rank, 0, len(in.Tasks))
+		e.ranks = make([]rank, 0, len(in.Tasks)) //bce:allocok amortized grow of reusable scratch, stops once sized to the queue
 	}
 	ranks := e.ranks[:0]
 	for _, t := range in.Tasks {
@@ -218,7 +221,7 @@ func (e *Enforcer) Enforce(in Input) Decision {
 		}
 		ranks = append(ranks, r)
 	}
-	e.ranks = ranks
+	e.ranks = ranks //bce:retainok ranks alias in.Tasks only until the next Enforce; the Decision contract documents this
 
 	// Stable sort. Any stable sort over the same comparator produces
 	// the same permutation, so the implementation is free to vary by
@@ -274,7 +277,7 @@ func (e *Enforcer) Enforce(in Input) Decision {
 			break
 		}
 	}
-	e.run = run
+	e.run = run //bce:retainok the Decision deliberately aliases scratch holding caller tasks until the next Enforce
 	return Decision{Run: run}
 }
 

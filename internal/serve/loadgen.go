@@ -202,7 +202,7 @@ func Loadgen(ctx context.Context, o LoadgenOptions) (*LoadgenResult, error) {
 		close(next)
 	}
 	wg.Wait()
-	res.Elapsed = time.Since(start) //bce:wallclock
+	res.Elapsed = time.Since(start) //bce:wallclock load generator reports real HTTP latency, outside any emulation
 
 	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
 	res.P50 = nearestRank(latencies, 0.50)
@@ -288,7 +288,7 @@ func oneRequest(ctx context.Context, client *http.Client, base string, body []by
 	if state == StateFailed {
 		return 0, false, shed, fmt.Errorf("loadgen: job failed")
 	}
-	return time.Since(begin), cacheHit, shed, nil //bce:wallclock
+	return time.Since(begin), cacheHit, shed, nil //bce:wallclock load generator reports real HTTP latency, outside any emulation
 }
 
 func postJSON(ctx context.Context, client *http.Client, url string, body []byte, out any) (status int, retryAfter time.Duration, err error) {

@@ -16,6 +16,8 @@ import "math"
 // increasing magnitude, and that their exact sum is unchanged plus x.
 // This is the inner loop of fsum: every two-sum is an error-free
 // transformation, so no information is lost.
+//
+//bce:hotpath
 func addPartial(partials []float64, x float64) []float64 {
 	i := 0
 	for _, y := range partials {
@@ -30,7 +32,9 @@ func addPartial(partials []float64, x float64) []float64 {
 		}
 		x = hi
 	}
-	return append(partials[:i], x)
+	// Non-overlapping partials of a float64 sum number at most a few
+	// dozen, so growth stops almost immediately on real sample streams.
+	return append(partials[:i], x) //bce:allocok amortized growth of the caller's retained partials buffer
 }
 
 // sumPartials returns the correctly-rounded float64 nearest the exact

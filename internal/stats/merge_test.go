@@ -239,6 +239,115 @@ func TestSketchZeroAndNegative(t *testing.T) {
 	}
 }
 
+// TestSketchMergeEmpty: merging with an empty sketch in either
+// direction is the identity, and absorbing into an empty sketch is a
+// deep copy — later additions to one side must not leak into the
+// other through a shared bin slice.
+func TestSketchMergeEmpty(t *testing.T) {
+	full := NewMergingSketch(0)
+	for _, x := range []float64{-3, 0, 0.5, 7} {
+		full.Add(x)
+	}
+	before, err := json.Marshal(&full)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	empty := NewMergingSketch(0)
+	if err := full.Merge(&empty); err != nil {
+		t.Fatalf("merging an empty sketch in: %v", err)
+	}
+	if after, _ := json.Marshal(&full); string(after) != string(before) {
+		t.Errorf("merge with empty changed the sketch:\n before %s\n after  %s", before, after)
+	}
+
+	if err := empty.Merge(&full); err != nil {
+		t.Fatalf("merging into an empty sketch: %v", err)
+	}
+	if got, _ := json.Marshal(&empty); string(got) != string(before) {
+		t.Errorf("empty.Merge(full) is not a faithful copy:\n want %s\n got  %s", before, got)
+	}
+	empty.Add(1e6)
+	if after, _ := json.Marshal(&full); string(after) != string(before) {
+		t.Errorf("mutating the copy leaked into the source:\n before %s\n after  %s", before, after)
+	}
+}
+
+// TestSketchAllEqual: a degenerate one-bucket distribution — every
+// quantile of N identical samples is that sample exactly, because the
+// [Min, Max] clamp collapses the bucket's representative error.
+func TestSketchAllEqual(t *testing.T) {
+	sk := NewMergingSketch(0)
+	for i := 0; i < 1000; i++ {
+		sk.Add(42)
+	}
+	if sk.N() != 1000 {
+		t.Fatalf("N = %d, want 1000", sk.N())
+	}
+	for _, p := range []float64{0, 0.01, 0.25, 0.5, 0.99, 1} {
+		if got := sk.Quantile(p); got != 42 {
+			t.Errorf("q(%v) = %v, want exactly 42", p, got)
+		}
+	}
+}
+
+// TestSketchNegativeAndZeroOnly: a sample set with no positive mass
+// exercises the mirrored store and zero counter on their own — the
+// positive scan must contribute nothing.
+func TestSketchNegativeAndZeroOnly(t *testing.T) {
+	sk := NewMergingSketch(0)
+	for _, x := range []float64{-8, -4, -2, -1, 0, 0, 0} {
+		sk.Add(x)
+	}
+	if got := sk.Quantile(0); got != -8 {
+		t.Errorf("q(0) = %v, want exact min -8", got)
+	}
+	if got := sk.Quantile(1); got != 0 {
+		t.Errorf("q(1) = %v, want exact max 0", got)
+	}
+	// Rank 4 of 7: the sample -1, accurate to alpha and sign-correct.
+	if got := sk.Quantile(0.5); got >= 0 || math.Abs(got-(-1)) > DefaultSketchAlpha+1e-9 {
+		t.Errorf("q(0.5) = %v, want within alpha of -1", got)
+	}
+	// Rank 6 of 7 lands in the zero bucket.
+	if got := sk.Quantile(0.8); got != 0 {
+		t.Errorf("q(0.8) = %v, want 0", got)
+	}
+}
+
+// TestSketchMultiWayMergeExtremes: after folding several shards
+// together, q(0) and q(1) are the exact global min and max — the
+// tracked extremes must survive merging, not just single-stream Adds.
+func TestSketchMultiWayMergeExtremes(t *testing.T) {
+	g := NewRNG(11)
+	var all []float64
+	parts := make([]MergingSketch, 5)
+	for i := range parts {
+		parts[i] = NewMergingSketch(0)
+		for j := 0; j < 200; j++ {
+			x := g.Uniform(-50, 50)
+			parts[i].Add(x)
+			all = append(all, x)
+		}
+	}
+	merged := NewMergingSketch(0)
+	for i := range parts {
+		if err := merged.Merge(&parts[i]); err != nil {
+			t.Fatalf("merging shard %d: %v", i, err)
+		}
+	}
+	sort.Float64s(all)
+	if merged.N() != int64(len(all)) {
+		t.Fatalf("N = %d, want %d", merged.N(), len(all))
+	}
+	if got := merged.Quantile(0); got != all[0] {
+		t.Errorf("q(0) = %v, want exact min %v", got, all[0])
+	}
+	if got := merged.Quantile(1); got != all[len(all)-1] {
+		t.Errorf("q(1) = %v, want exact max %v", got, all[len(all)-1])
+	}
+}
+
 func TestSketchAlphaMismatch(t *testing.T) {
 	a := NewMergingSketch(0.01)
 	b := NewMergingSketch(0.05)

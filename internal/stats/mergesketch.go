@@ -3,7 +3,6 @@ package stats
 import (
 	"fmt"
 	"math"
-	"sort"
 )
 
 // DefaultSketchAlpha is the relative-accuracy parameter used by
@@ -95,8 +94,20 @@ func (s *MergingSketch) rep(k int32) float64 {
 	return 2 * math.Pow(g, float64(k)) / (g + 1)
 }
 
+//bce:hotpath
 func addBin(bins []SketchBin, k int32, n int64) []SketchBin {
-	i := sort.Search(len(bins), func(i int) bool { return bins[i].K >= k })
+	// Inlined binary search for the first bin with K >= k: sort.Search
+	// takes its predicate as a closure, which costs an allocation per
+	// sample on the sketch's hot path.
+	i, hi := 0, len(bins)
+	for i < hi {
+		mid := int(uint(i+hi) >> 1)
+		if bins[mid].K < k {
+			i = mid + 1
+		} else {
+			hi = mid
+		}
+	}
 	if i < len(bins) && bins[i].K == k {
 		bins[i].N += n
 		return bins
@@ -109,6 +120,8 @@ func addBin(bins []SketchBin, k int32, n int64) []SketchBin {
 
 // Add folds one sample into the sketch. NaN samples are ignored;
 // infinities are recorded at the clamped extreme bucket.
+//
+//bce:hotpath
 func (s *MergingSketch) Add(x float64) {
 	if math.IsNaN(x) {
 		return

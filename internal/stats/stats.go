@@ -158,6 +158,8 @@ func (m *Mean) UnmarshalJSON(b []byte) error {
 }
 
 // Add folds a sample into the accumulator.
+//
+//bce:hotpath
 func (m *Mean) Add(x float64) {
 	m.n++
 	m.sum = addPartial(m.sum, x)

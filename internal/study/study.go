@@ -50,7 +50,7 @@ type Result struct {
 // keeps its own seed and duration; only the policies vary, so the
 // comparison is paired.
 //
-//bce:ctxshim
+//bce:ctxshim convenience wrapper; roots a background context and delegates to the Context variant
 func Run(samples []*scenario.Scenario, combos []Combo) (*Result, error) {
 	return RunContext(context.Background(), samples, combos)
 }
